@@ -1,0 +1,101 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* robust vs non-robust sensitization: non-robust conditions are weaker,
+  so fewer faults are dropped as undetectable;
+* simulation-based vs branch-and-bound justification: BnB is complete --
+  it succeeds on everything the randomized engine solves;
+* datapath (chain) vs unstructured (mesh) proxies: the longest paths of
+  random meshes are mostly robust-untestable, which is why the proxy
+  circuits use the chain style (DESIGN.md section 2);
+* secondary-attempt budget: a small budget keeps most of the compaction
+  at a fraction of the run time.
+"""
+
+import random
+
+from repro.atpg import (
+    AtpgConfig,
+    BranchAndBoundJustifier,
+    Justifier,
+    RequirementSet,
+    generate_basic,
+)
+from repro.circuit import load_circuit
+from repro.faults import build_target_sets
+
+
+def bench_ablation_robust_vs_nonrobust(benchmark):
+    netlist = load_circuit("s641_proxy")
+
+    def build_both():
+        robust = build_target_sets(netlist, max_faults=240, p0_min_faults=60)
+        relaxed = build_target_sets(
+            netlist, max_faults=240, p0_min_faults=60, mode="non_robust"
+        )
+        return robust, relaxed
+
+    robust, relaxed = benchmark.pedantic(build_both, rounds=1, iterations=1)
+
+    assert relaxed.dropped_conflict <= robust.dropped_conflict
+    assert len(relaxed.all_records) >= len(robust.all_records)
+
+
+def bench_ablation_bnb_completeness(benchmark, circuit_targets):
+    """BnB succeeds wherever the randomized engine does."""
+    name, targets = circuit_targets
+    justifier = Justifier(targets.netlist)
+    bnb = BranchAndBoundJustifier(targets.netlist)
+    rng = random.Random(0)
+
+    def compare(sample=8):
+        agree = 0
+        solved = 0
+        for record in targets.p0[:sample]:
+            requirements = RequirementSet(record.sens.requirements)
+            if justifier.justify(requirements, rng) is not None:
+                solved += 1
+                if bnb.is_satisfiable(requirements, node_limit=100_000):
+                    agree += 1
+        return solved, agree
+
+    solved, agree = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert agree == solved
+
+
+def bench_ablation_chain_vs_mesh_testability(benchmark):
+    """Long mesh paths are nearly all undetectable; chain paths are not.
+
+    This is the measurement that justified the proxy-style substitution
+    documented in DESIGN.md.
+    """
+
+    def survival(name):
+        netlist = load_circuit(name)
+        targets = build_target_sets(netlist, max_faults=240, p0_min_faults=60)
+        population = len(targets.all_records) + targets.dropped_conflict
+        return len(targets.all_records) / max(population, 1)
+
+    rates = benchmark.pedantic(
+        lambda: (survival("mesh_deep"), survival("s641_proxy")),
+        rounds=1,
+        iterations=1,
+    )
+    mesh_rate, chain_rate = rates
+    assert chain_rate > mesh_rate
+
+
+def bench_ablation_secondary_budget(benchmark, circuit_targets, smoke_scale):
+    """A small attempt budget keeps compaction close to unlimited."""
+    name, targets = circuit_targets
+
+    def run(budget):
+        config = AtpgConfig(
+            heuristic="values", seed=1, max_secondary_attempts=budget
+        )
+        return generate_basic(targets.netlist, targets.p0, config)
+
+    limited = benchmark.pedantic(run, args=(4,), rounds=1, iterations=1)
+    baseline = run(None)
+
+    assert limited.num_tests <= baseline.num_tests * 1.6 + 4
+    assert limited.secondary_attempts <= 4 * max(limited.num_tests, 1)

@@ -1,0 +1,47 @@
+"""Table 1: bounded path enumeration on s27 (the paper's walk-through).
+
+Benchmarks the enumeration itself and asserts the paper's qualitative
+outcome: with a cap of 20 paths, the surviving set contains only the
+longest paths (the short complete paths, such as the length-2 path the
+paper removes first, are pruned) and every longest path survives.
+"""
+
+from repro.circuit import load_circuit
+from repro.experiments import run_table1
+from repro.paths import enumerate_paths
+
+
+def bench_table1_enumeration(benchmark):
+    netlist = load_circuit("s27")
+
+    result = benchmark(enumerate_paths, netlist, 40, False)
+
+    assert result.cap_hit
+    assert result.num_faults < 40
+    # The paper's run ends with paths well above the minimum length; the
+    # shortest complete paths (length 2 and 3 here) must be gone.
+    assert result.min_kept_length >= 4
+    assert result.max_kept_length == 7
+    # All longest paths survive.
+    full = enumerate_paths(netlist, max_faults=10_000)
+    longest = [p for p in full.paths if p.length == 7]
+    for path in longest:
+        assert path in result.paths
+
+
+def bench_table1_distance_variant(benchmark):
+    netlist = load_circuit("s27")
+
+    result = benchmark(enumerate_paths, netlist, 40, True)
+
+    assert result.cap_hit
+    assert result.max_kept_length == 7
+    # The distance-based variant prunes at least as aggressively.
+    assert result.min_kept_length >= 4
+
+
+def bench_table1_driver(benchmark):
+    result = benchmark(run_table1, 20)
+    assert result.cap_paths == 20
+    assert len(result.kept_paths) <= 20
+    assert result.max_length == 7

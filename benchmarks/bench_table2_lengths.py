@@ -1,0 +1,42 @@
+"""Table 2: L_i / N_p(L_i) length table of the s1423 stand-in.
+
+Benchmarks enumeration + histogram and asserts the paper's shape: the
+cumulative fault count N_p(L_i) starts very small at the critical length
+(n_p(L_0) = 4 in the paper) and grows monotonically -- roughly
+geometrically -- as the length bound decreases.
+"""
+
+from repro.circuit import load_circuit
+from repro.experiments import run_table2
+from repro.faults.fault import faults_of_paths
+from repro.paths import enumerate_paths, length_table_for_faults
+
+
+def _build_table(netlist, max_faults):
+    enumeration = enumerate_paths(netlist, max_faults=max_faults)
+    return length_table_for_faults(faults_of_paths(enumeration.paths))
+
+
+def bench_table2_length_table(benchmark, smoke_scale):
+    netlist = load_circuit("s1423_proxy")
+
+    table = benchmark(_build_table, netlist, smoke_scale.max_faults)
+
+    rows = list(table)
+    assert len(rows) >= 3
+    # Monotone growth of the cumulative column.
+    cumulative = [row.cumulative for row in rows]
+    assert cumulative == sorted(cumulative)
+    assert all(later > earlier for earlier, later in zip(cumulative, cumulative[1:]))
+    # Few faults at the critical length, many more a few levels down --
+    # the property that makes the P0/P1 boundary meaningful.
+    assert rows[0].faults <= cumulative[-1] // 3
+
+
+def bench_table2_driver(benchmark, smoke_scale):
+    result = benchmark(run_table2, smoke_scale, "s1423_proxy", 20)
+    assert result.circuit == "s1423_proxy"
+    indices = [row[0] for row in result.rows]
+    assert indices == list(range(len(result.rows)))
+    lengths = [row[1] for row in result.rows]
+    assert lengths == sorted(lengths, reverse=True)

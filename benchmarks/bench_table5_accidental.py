@@ -1,0 +1,53 @@
+"""Table 5: accidental detection of P0 u P1 by the basic test sets.
+
+Benchmarks the fault simulation of the basic (values) test set against
+the full population and asserts the paper's observation: only a modest
+fraction of P1 is detected *accidentally* -- the headroom the enrichment
+procedure exploits -- and the non-compact test set barely beats the
+compact ones despite being much larger.
+"""
+
+from repro.sim import FaultSimulator
+
+
+def bench_table5_fault_simulation(benchmark, run_cache, circuit_targets):
+    name, targets = circuit_targets
+    run = run_cache.basic(name, "values")
+    simulator = FaultSimulator(targets.netlist, targets.all_records)
+
+    detected_mask = benchmark(simulator.detected_mask, run.test_vectors)
+
+    p1_keys = {record.fault.key() for record in targets.p1}
+    accidental_p1 = sum(
+        1
+        for record, hit in zip(targets.all_records, detected_mask)
+        if hit and record.fault.key() in p1_keys
+    )
+    if targets.p1:
+        # Most of P1 goes undetected when it is not targeted explicitly.
+        assert accidental_p1 <= 0.7 * len(targets.p1), (
+            name,
+            accidental_p1,
+            len(targets.p1),
+        )
+
+
+def bench_table5_noncompact_barely_better(benchmark, run_cache, circuit_targets):
+    """The paper: accidental P1 detection of the big uncompacted test set
+    is only slightly higher than that of the much smaller compact sets."""
+    name, targets = circuit_targets
+    simulator = FaultSimulator(targets.netlist, targets.all_records)
+
+    def accidental(heuristic):
+        run = run_cache.basic(name, heuristic)
+        detected, _ = simulator.coverage(run.test_vectors)
+        return detected
+
+    counts = benchmark.pedantic(
+        lambda: {h: accidental(h) for h in ("uncomp", "values")},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Allow the uncompacted set a modest edge only (or none at all).
+    assert counts["uncomp"] <= counts["values"] + 0.25 * len(targets.all_records)

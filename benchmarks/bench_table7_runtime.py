@@ -1,0 +1,38 @@
+"""Table 7: run-time ratio of enrichment over the basic procedure.
+
+The paper reports ratios between 0.94 and 2.51: enrichment costs at most
+a modest constant factor.  The benchmark times both procedures on fresh
+runs (cache-independent) and asserts the ratio stays within an order of
+magnitude of 1.
+"""
+
+import time
+
+from repro.atpg import AtpgConfig, generate_basic, generate_enriched
+
+
+def bench_table7_runtime_ratio(benchmark, circuit_targets, smoke_scale):
+    name, targets = circuit_targets
+    config = AtpgConfig(
+        heuristic="values",
+        seed=smoke_scale.seed,
+        max_secondary_attempts=smoke_scale.max_secondary_attempts,
+    )
+
+    def both():
+        start = time.perf_counter()
+        generate_basic(targets.netlist, targets.p0, config)
+        basic_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        generate_enriched(targets.netlist, targets, config)
+        enrich_elapsed = time.perf_counter() - start
+        return basic_elapsed, enrich_elapsed
+
+    basic_elapsed, enrich_elapsed = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+
+    ratio = enrich_elapsed / max(basic_elapsed, 1e-9)
+    # Paper: 0.94 .. 2.51.  Allow generous slack for the smaller scale and
+    # Python timing noise, but the ratio must stay bounded.
+    assert 0.2 <= ratio <= 10.0, (name, ratio)

@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run at the ``smoke`` scale so a full ``pytest benchmarks/
+--benchmark-only`` finishes in minutes; the ``default``-scale numbers that
+EXPERIMENTS.md reports come from ``repro-pdf tables --scale default``.
+
+Heavy precomputation (target sets) is session-scoped; the benchmarked
+bodies are the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import prepare_targets, resolve_circuit
+from repro.experiments import get_scale
+
+SMOKE = get_scale("smoke")
+
+#: Circuits used by the per-table benchmarks (a fast but representative
+#: subset of the paper's eight; the full set runs via the CLI driver).
+BENCH_CIRCUITS = ("s641_proxy", "b03_proxy", "b04_proxy")
+
+
+@pytest.fixture(scope="session")
+def smoke_scale():
+    return SMOKE
+
+
+@pytest.fixture(scope="session")
+def targets_by_circuit():
+    """Target sets for the benchmark circuits at smoke scale."""
+    out = {}
+    for name in BENCH_CIRCUITS:
+        netlist = resolve_circuit(name)
+        out[name] = prepare_targets(
+            netlist,
+            max_faults=SMOKE.max_faults,
+            p0_min_faults=SMOKE.p0_min_faults,
+        )
+    return out
+
+
+@pytest.fixture(scope="session", params=BENCH_CIRCUITS)
+def circuit_targets(request, targets_by_circuit):
+    """(name, TargetSets) for each benchmark circuit."""
+    return request.param, targets_by_circuit[request.param]
+
+
+@pytest.fixture(scope="session")
+def run_cache(targets_by_circuit):
+    """Lazy session cache of generation runs shared across bench modules.
+
+    ``cache.basic(name, heuristic)`` and ``cache.enriched(name)`` run once
+    per key; Tables 3/4/5/6/7 all consume the same underlying runs, just
+    as the paper's experiments do.
+    """
+    from repro.atpg import AtpgConfig, generate_basic, generate_enriched
+
+    class _Cache:
+        def __init__(self):
+            self._basic = {}
+            self._enriched = {}
+
+        def _config(self, heuristic):
+            return AtpgConfig(
+                heuristic=heuristic,
+                seed=SMOKE.seed,
+                max_secondary_attempts=SMOKE.max_secondary_attempts,
+            )
+
+        def basic(self, name, heuristic):
+            key = (name, heuristic)
+            if key not in self._basic:
+                targets = targets_by_circuit[name]
+                self._basic[key] = generate_basic(
+                    targets.netlist, targets.p0, self._config(heuristic)
+                )
+            return self._basic[key]
+
+        def enriched(self, name):
+            if name not in self._enriched:
+                targets = targets_by_circuit[name]
+                self._enriched[name] = generate_enriched(
+                    targets.netlist, targets, self._config("values")
+                )
+            return self._enriched[name]
+
+    return _Cache()

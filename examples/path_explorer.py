@@ -1,0 +1,49 @@
+"""Exploring path populations (Table 1 / Table 2 machinery).
+
+Walks through the bounded enumeration of Section 3.1 on s27 exactly as the
+paper's example does (a cap of 20 paths), then prints the length table of a
+larger proxy circuit, showing how the P0/P1 boundary i0 moves with N_P0.
+
+Run:  python examples/path_explorer.py [circuit]
+"""
+
+import sys
+
+from repro.circuit import analyze, load_circuit
+from repro.experiments import run_table1, format_table1
+from repro.faults import build_target_sets
+from repro.paths import enumerate_paths, length_table_for_paths
+
+
+def main() -> None:
+    # Part 1: the paper's s27 walk-through.
+    print(format_table1(run_table1(max_paths=20)))
+    print()
+
+    # Part 2: length table and P0 selection on a bigger circuit.
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "s1423_proxy"
+    netlist = load_circuit(circuit)
+    print("Circuit:", analyze(netlist))
+    enumeration = enumerate_paths(netlist, max_faults=600)
+    print(
+        f"Enumerated {len(enumeration.paths)} longest paths "
+        f"(cap hit: {enumeration.cap_hit}, "
+        f"pruned {enumeration.pruned_complete} complete / "
+        f"{enumeration.pruned_partial} partial)"
+    )
+    table = length_table_for_paths(enumeration.paths)
+    print(table.format())
+    print()
+
+    # How the P0/P1 split reacts to N_P0.
+    for n_p0 in (50, 150, 300):
+        targets = build_target_sets(netlist, max_faults=600, p0_min_faults=n_p0)
+        print(
+            f"N_P0={n_p0:4d}: i0={targets.i0} "
+            f"(boundary length {targets.boundary_length}), "
+            f"|P0|={len(targets.p0)}, |P1|={len(targets.p1)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Whole-population coverage estimation by uniform path sampling.
+
+Bounded enumeration only ever sees the N_P longest paths, so "faults
+detected out of P0 u P1" says nothing about the millions of other paths.
+This example draws paths *uniformly at random* from the full population
+(exact uniformity via suffix-path counting) and estimates the test set's
+true path-delay-fault coverage with a confidence interval -- the
+sampling-based analogue of the non-enumerative estimation the paper cites
+as reference [2].
+
+Run:  python examples/population_coverage.py [circuit]
+"""
+
+import sys
+
+from repro import basic_atpg_circuit, enrich_circuit, prepare_targets
+from repro.circuit import analyze
+from repro.experiments import estimate_coverage
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "b03_proxy"
+    targets = prepare_targets(circuit, max_faults=400, p0_min_faults=100)
+    netlist = targets.netlist
+    stats = analyze(netlist)
+    print(f"{stats}")
+    print(
+        f"Enumerated target sets: |P0|={len(targets.p0)}, |P1|={len(targets.p1)} "
+        f"out of {2 * stats.num_paths} faults in the whole population"
+    )
+    print()
+
+    basic = basic_atpg_circuit(
+        netlist, heuristic="values", targets=targets, seed=1,
+        max_secondary_attempts=16,
+    )
+    enriched = enrich_circuit(
+        netlist, targets=targets, seed=1, max_secondary_attempts=16
+    )
+
+    for label, tests in (
+        (f"basic  ({basic.num_tests} tests)", basic.test_vectors),
+        (f"enrich ({enriched.num_tests} tests)", enriched.result.test_vectors),
+    ):
+        estimate = estimate_coverage(netlist, tests, samples=300, seed=7)
+        print(f"{label}: {estimate}")
+
+    print()
+    print(
+        "Note how whole-population coverage stays far below the P0 coverage "
+        "percentage: most paths are short and were never targeted -- the "
+        "motivation for targeting near-critical paths explicitly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Working with finished test sets: files, waveforms, static compaction.
+
+Generates an (intentionally wasteful) uncompacted test set for s27, then:
+
+1. statically compacts it (reverse and greedy set-cover passes) without
+   losing a single detected fault;
+2. saves/reloads the compacted set as a text file;
+3. renders the waveforms one test produces on the paper's example path.
+
+Run:  python examples/test_set_tools.py
+"""
+
+from repro import basic_atpg_circuit, prepare_targets
+from repro.atpg import compact_tests
+from repro.sim import (
+    FaultSimulator,
+    dumps_tests,
+    loads_tests,
+    render_test,
+)
+
+
+def main() -> None:
+    targets = prepare_targets("s27", max_faults=1000, p0_min_faults=20)
+    netlist = targets.netlist
+
+    # The uncompacted procedure: one primary target per test.
+    run = basic_atpg_circuit(
+        netlist, heuristic="uncomp", targets=targets, seed=5
+    )
+    print(f"uncomp generated {run.num_tests} tests "
+          f"({run.detected_by_pool[0]}/{len(targets.p0)} P0 faults)")
+
+    # Static compaction against the full population.
+    for order in ("reverse", "greedy"):
+        result = compact_tests(
+            netlist, targets.all_records, run.test_vectors, order=order
+        )
+        print(
+            f"  static({order:7s}): {result.num_tests} tests "
+            f"(dropped {result.dropped}), still {result.detected} faults"
+        )
+
+    compacted = compact_tests(
+        netlist, targets.all_records, run.test_vectors, order="greedy"
+    )
+
+    # Round-trip through the text format.
+    text = dumps_tests(netlist, compacted.tests)
+    print("\nTest file:")
+    print("\n".join(text.splitlines()[:6]))
+    reloaded = loads_tests(text, netlist)
+    simulator = FaultSimulator(netlist, targets.all_records)
+    detected, total = simulator.coverage(reloaded)
+    print(f"... reloaded {len(reloaded)} tests detect {detected}/{total}")
+
+    # Waveform view of the first test along the paper's example path.
+    print("\nWaveforms of test 1 along (G1, G12, G13) and its side inputs:")
+    print(
+        render_test(
+            netlist, compacted.tests[0], lines=["G1", "G7", "G2", "G12", "G13"]
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro -- path delay fault ATPG with test enrichment.
+
+Reproduction of Pomeranz & Reddy, "Test Enrichment for Path Delay Faults
+Using Multiple Sets of Target Faults" (DATE 2002).
+
+Public API highlights
+---------------------
+
+* :mod:`repro.circuit` -- netlist model, ``.bench`` parser, benchmark
+  circuit registry, structural analysis.
+* :mod:`repro.algebra` -- the three-valued waveform-triple domain.
+* :mod:`repro.paths` -- bounded enumeration of the longest circuit paths.
+* :mod:`repro.faults` -- path delay faults, robust sensitization
+  conditions ``A(p)``, and target-set selection (``P``, ``P0``, ``P1``).
+* :mod:`repro.sim` -- waveform simulators and robust fault simulation.
+* :mod:`repro.atpg` -- the simulation-based test generator, the compaction
+  heuristics of Section 2, and the test enrichment procedure of Section 3.
+* :mod:`repro.experiments` -- drivers that regenerate every table of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import enrich_circuit
+
+    report = enrich_circuit("s27")
+    print(report.summary())
+"""
+
+from ._version import __version__
+from .api import (
+    basic_atpg_circuit,
+    enrich_circuit,
+    prepare_targets,
+)
+
+__all__ = [
+    "__version__",
+    "prepare_targets",
+    "basic_atpg_circuit",
+    "enrich_circuit",
+]

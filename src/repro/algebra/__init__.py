@@ -1,0 +1,64 @@
+"""Multi-valued algebra for two-pattern (delay) tests.
+
+Exports the ternary scalar logic (:mod:`repro.algebra.ternary`) and the
+waveform-triple domain (:mod:`repro.algebra.triple`) used throughout the
+path-delay-fault tooling.
+"""
+
+from .ternary import (
+    AND_TABLE,
+    NOT_TABLE,
+    ONE,
+    OR_TABLE,
+    VALUES,
+    X,
+    XOR_TABLE,
+    ZERO,
+    is_specified,
+    t_and,
+    t_and_all,
+    t_not,
+    t_or,
+    t_or_all,
+    t_xor,
+    t_xor_all,
+    value_from_char,
+    value_to_char,
+)
+from .triple import (
+    FALL,
+    RISE,
+    STABLE0,
+    STABLE1,
+    UNKNOWN,
+    Triple,
+    all_triples,
+)
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "VALUES",
+    "AND_TABLE",
+    "OR_TABLE",
+    "XOR_TABLE",
+    "NOT_TABLE",
+    "t_and",
+    "t_or",
+    "t_xor",
+    "t_not",
+    "t_and_all",
+    "t_or_all",
+    "t_xor_all",
+    "is_specified",
+    "value_from_char",
+    "value_to_char",
+    "Triple",
+    "STABLE0",
+    "STABLE1",
+    "RISE",
+    "FALL",
+    "UNKNOWN",
+    "all_triples",
+]

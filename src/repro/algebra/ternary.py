@@ -1,0 +1,165 @@
+"""Three-valued (0, 1, x) logic primitives.
+
+Every line of a circuit carries, for each of the three waveform positions of a
+two-pattern test (initial value, intermediate value, final value), one of
+three logic values:
+
+* ``ZERO`` -- logic 0
+* ``ONE``  -- logic 1
+* ``X``    -- unknown / unassigned
+
+The module provides both scalar operations (plain ``int`` in, ``int`` out)
+and the lookup tables the vectorized simulator uses directly with numpy
+fancy indexing.  Values are encoded as small integers::
+
+    ZERO = 0, ONE = 1, X = 2
+
+A second, *ordered* encoding (0 -> 0, X -> 1, ONE -> 2) makes AND a ``min``
+and OR a ``max``; the batch simulator uses it internally.  ``TO_ORD`` and
+``FROM_ORD`` convert between the encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+ZERO: int = 0
+ONE: int = 1
+X: int = 2
+
+#: All legal ternary values.
+VALUES: tuple[int, int, int] = (ZERO, ONE, X)
+
+#: Human-readable characters for each value, indexed by the value itself.
+CHARS: str = "01x"
+
+#: Map from character to value, accepting a few common aliases.
+_CHAR_TO_VALUE: dict[str, int] = {
+    "0": ZERO,
+    "1": ONE,
+    "x": X,
+    "X": X,
+    "u": X,
+    "U": X,
+    "-": X,
+}
+
+
+def value_from_char(char: str) -> int:
+    """Return the ternary value encoded by ``char`` (``0``/``1``/``x``)."""
+    try:
+        return _CHAR_TO_VALUE[char]
+    except KeyError:
+        raise ValueError(f"not a ternary value character: {char!r}") from None
+
+
+def value_to_char(value: int) -> str:
+    """Return the canonical character for a ternary ``value``."""
+    if value not in VALUES:
+        raise ValueError(f"not a ternary value: {value!r}")
+    return CHARS[value]
+
+
+def _build_and() -> np.ndarray:
+    table = np.full((3, 3), X, dtype=np.int8)
+    for a in VALUES:
+        for b in VALUES:
+            if a == ZERO or b == ZERO:
+                table[a, b] = ZERO
+            elif a == ONE and b == ONE:
+                table[a, b] = ONE
+    return table
+
+
+def _build_or() -> np.ndarray:
+    table = np.full((3, 3), X, dtype=np.int8)
+    for a in VALUES:
+        for b in VALUES:
+            if a == ONE or b == ONE:
+                table[a, b] = ONE
+            elif a == ZERO and b == ZERO:
+                table[a, b] = ZERO
+    return table
+
+
+def _build_xor() -> np.ndarray:
+    table = np.full((3, 3), X, dtype=np.int8)
+    for a in (ZERO, ONE):
+        for b in (ZERO, ONE):
+            table[a, b] = a ^ b
+    return table
+
+
+#: 3x3 lookup tables, indexed ``TABLE[a, b]``.
+AND_TABLE: np.ndarray = _build_and()
+OR_TABLE: np.ndarray = _build_or()
+XOR_TABLE: np.ndarray = _build_xor()
+
+#: Unary NOT, indexed ``NOT_TABLE[a]``.
+NOT_TABLE: np.ndarray = np.array([ONE, ZERO, X], dtype=np.int8)
+
+#: Conversion to the ordered encoding (ZERO->0, X->1, ONE->2) and back.
+TO_ORD: np.ndarray = np.array([0, 2, 1], dtype=np.int8)
+FROM_ORD: np.ndarray = np.array([ZERO, X, ONE], dtype=np.int8)
+
+AND_TABLE.setflags(write=False)
+OR_TABLE.setflags(write=False)
+XOR_TABLE.setflags(write=False)
+NOT_TABLE.setflags(write=False)
+TO_ORD.setflags(write=False)
+FROM_ORD.setflags(write=False)
+
+
+def t_and(a: int, b: int) -> int:
+    """Ternary AND of two scalar values."""
+    return int(AND_TABLE[a, b])
+
+
+def t_or(a: int, b: int) -> int:
+    """Ternary OR of two scalar values."""
+    return int(OR_TABLE[a, b])
+
+
+def t_xor(a: int, b: int) -> int:
+    """Ternary XOR of two scalar values."""
+    return int(XOR_TABLE[a, b])
+
+
+def t_not(a: int) -> int:
+    """Ternary NOT of a scalar value."""
+    return int(NOT_TABLE[a])
+
+
+def t_and_all(values: Iterable[int]) -> int:
+    """Ternary AND over an iterable of values (identity: ONE)."""
+    result = ONE
+    for value in values:
+        result = int(AND_TABLE[result, value])
+        if result == ZERO:
+            return ZERO
+    return result
+
+
+def t_or_all(values: Iterable[int]) -> int:
+    """Ternary OR over an iterable of values (identity: ZERO)."""
+    result = ZERO
+    for value in values:
+        result = int(OR_TABLE[result, value])
+        if result == ONE:
+            return ONE
+    return result
+
+
+def t_xor_all(values: Iterable[int]) -> int:
+    """Ternary XOR over an iterable of values (identity: ZERO)."""
+    result = ZERO
+    for value in values:
+        result = int(XOR_TABLE[result, value])
+    return result
+
+
+def is_specified(value: int) -> bool:
+    """True when ``value`` is a known logic value (0 or 1, not x)."""
+    return value == ZERO or value == ONE

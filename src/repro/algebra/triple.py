@@ -1,0 +1,275 @@
+"""Waveform triples ``alpha1 alpha2 alpha3`` for two-pattern tests.
+
+Following Section 2.1 of the paper, the value a line carries under a
+two-pattern test is described by a triple ``alpha = alpha1 alpha2 alpha3``:
+
+* ``alpha1`` -- value under the first pattern,
+* ``alpha2`` -- intermediate value while the circuit settles,
+* ``alpha3`` -- value under the second pattern.
+
+A *stable* value has ``alpha1 == alpha2 == alpha3``; a rising transition is
+``0x1`` and a falling transition is ``1x0``.
+
+Triples play two distinct roles:
+
+* **Simulated values** -- what a (possibly partial) two-pattern input
+  assignment actually produces on a line.  Here ``x`` means *unknown or
+  possibly hazardous*.
+* **Requirements** -- entries of the set ``A(p)`` a test must satisfy.  Here
+  ``x`` means *don't care*.
+
+The two roles meet in :meth:`Triple.covers` (does a simulated value satisfy a
+requirement?) and :meth:`Triple.consistent_with` (could a partially-known
+simulated value still evolve into one that satisfies the requirement?).
+
+Triples are interned: there are only 27 of them, constructed once.  Identity
+comparison (``is``) is therefore valid, and :attr:`Triple.code` gives a dense
+integer encoding ``v1*9 + v2*3 + v3`` used by the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .ternary import ONE, X, ZERO, value_from_char, value_to_char
+
+__all__ = [
+    "Triple",
+    "STABLE0",
+    "STABLE1",
+    "RISE",
+    "FALL",
+    "UNKNOWN",
+    "all_triples",
+]
+
+
+class Triple:
+    """An immutable, interned waveform triple over {0, 1, x}.
+
+    Use :meth:`Triple.of` or :meth:`Triple.parse` to obtain instances; the
+    constructor is reserved for module initialization.
+    """
+
+    __slots__ = ("v1", "v2", "v3", "code")
+
+    _interned: list["Triple"] = []
+
+    def __init__(self, v1: int, v2: int, v3: int) -> None:
+        if Triple._interned and len(Triple._interned) == 27:
+            raise TypeError("Triple is interned; use Triple.of(v1, v2, v3)")
+        object.__setattr__(self, "v1", v1)
+        object.__setattr__(self, "v2", v2)
+        object.__setattr__(self, "v3", v3)
+        object.__setattr__(self, "code", v1 * 9 + v2 * 3 + v3)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Triple is immutable")
+
+    @classmethod
+    def of(cls, v1: int, v2: int, v3: int) -> "Triple":
+        """Return the interned triple with components ``(v1, v2, v3)``."""
+        if not (0 <= v1 <= 2 and 0 <= v2 <= 2 and 0 <= v3 <= 2):
+            raise ValueError(f"invalid triple components: {(v1, v2, v3)}")
+        return cls._interned[v1 * 9 + v2 * 3 + v3]
+
+    @classmethod
+    def from_code(cls, code: int) -> "Triple":
+        """Return the interned triple with dense encoding ``code`` (0..26)."""
+        return cls._interned[code]
+
+    @classmethod
+    def parse(cls, text: str) -> "Triple":
+        """Parse a triple from a 3-character string such as ``"0x1"``.
+
+        As a convenience, two-character strings are accepted as
+        ``(first, x-if-changing, last)`` pairs: ``"01"`` parses as the rising
+        transition ``0x1`` and ``"00"`` as stable ``000``.
+        """
+        if len(text) == 2:
+            first = value_from_char(text[0])
+            last = value_from_char(text[1])
+            mid = first if first == last else X
+            return cls.of(first, mid, last)
+        if len(text) != 3:
+            raise ValueError(f"triple string must have 2 or 3 characters: {text!r}")
+        return cls.of(
+            value_from_char(text[0]),
+            value_from_char(text[1]),
+            value_from_char(text[2]),
+        )
+
+    @classmethod
+    def stable(cls, value: int) -> "Triple":
+        """Return the stable triple ``value value value``."""
+        if value not in (ZERO, ONE):
+            raise ValueError(f"stable value must be 0 or 1, got {value!r}")
+        return cls.of(value, value, value)
+
+    @classmethod
+    def transition(cls, initial: int, final: int) -> "Triple":
+        """Return the triple for a line moving from ``initial`` to ``final``.
+
+        Equal endpoints yield a stable triple; differing specified endpoints
+        yield a transition with an ``x`` intermediate value.
+        """
+        if initial == final:
+            if initial == X:
+                return UNKNOWN
+            return cls.of(initial, initial, initial)
+        mid = X
+        return cls.of(initial, mid, final)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def is_fully_specified(self) -> bool:
+        """True when no component is ``x``."""
+        return self.v1 != X and self.v2 != X and self.v3 != X
+
+    def is_stable(self) -> bool:
+        """True for ``000`` and ``111``."""
+        return self.v1 == self.v2 == self.v3 and self.v1 != X
+
+    def is_transition(self) -> bool:
+        """True for the rising (``0x1``) and falling (``1x0``) triples."""
+        return self is RISE or self is FALL
+
+    def components(self) -> tuple[int, int, int]:
+        """Return ``(v1, v2, v3)``."""
+        return (self.v1, self.v2, self.v3)
+
+    # ------------------------------------------------------------------
+    # Requirement/value relations
+    # ------------------------------------------------------------------
+
+    def covers(self, requirement: "Triple") -> bool:
+        """True when this *simulated* value satisfies ``requirement``.
+
+        Every specified component of the requirement must be matched exactly
+        by the simulated value; an ``x`` simulated component never satisfies
+        a specified requirement component (it may hazard or is unknown).
+        """
+        for mine, req in (
+            (self.v1, requirement.v1),
+            (self.v2, requirement.v2),
+            (self.v3, requirement.v3),
+        ):
+            if req != X and mine != req:
+                return False
+        return True
+
+    def consistent_with(self, requirement: "Triple") -> bool:
+        """True unless this value already *contradicts* ``requirement``.
+
+        A contradiction needs both components specified and different.  An
+        ``x`` simulated component may still be refined by later input
+        assignments, so it does not contradict anything.
+        """
+        for mine, req in (
+            (self.v1, requirement.v1),
+            (self.v2, requirement.v2),
+            (self.v3, requirement.v3),
+        ):
+            if req != X and mine != X and mine != req:
+                return False
+        return True
+
+    def merge(self, other: "Triple") -> Optional["Triple"]:
+        """Combine two *requirements* on the same line.
+
+        Each component takes the specified value when exactly one side
+        specifies it, the common value when both agree, and ``None`` is
+        returned on any disagreement (the combined requirement is
+        unsatisfiable).
+        """
+        out = []
+        for mine, theirs in (
+            (self.v1, other.v1),
+            (self.v2, other.v2),
+            (self.v3, other.v3),
+        ):
+            if mine == X:
+                out.append(theirs)
+            elif theirs == X or theirs == mine:
+                out.append(mine)
+            else:
+                return None
+        return Triple.of(out[0], out[1], out[2])
+
+    def specified_count(self) -> int:
+        """Number of components that are not ``x``."""
+        return sum(1 for v in (self.v1, self.v2, self.v3) if v != X)
+
+    def new_components_vs(self, other: "Triple") -> int:
+        """Number of components specified here but not in ``other``.
+
+        Used by the value-based compaction heuristic: the cost of adding a
+        requirement is the number of *new* value constraints it introduces on
+        a line that already carries requirement ``other``.
+        """
+        count = 0
+        for mine, theirs in (
+            (self.v1, other.v1),
+            (self.v2, other.v2),
+            (self.v3, other.v3),
+        ):
+            if mine != X and theirs == X:
+                count += 1
+        return count
+
+    def inverted(self) -> "Triple":
+        """Return the triple with each component logically inverted."""
+        from .ternary import NOT_TABLE
+
+        return Triple.of(
+            int(NOT_TABLE[self.v1]), int(NOT_TABLE[self.v2]), int(NOT_TABLE[self.v3])
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Triple({self})"
+
+    def __str__(self) -> str:
+        return "".join(value_to_char(v) for v in (self.v1, self.v2, self.v3))
+
+    def __hash__(self) -> int:
+        return self.code
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __reduce__(self):
+        return (Triple.from_code, (self.code,))
+
+
+def _intern_all() -> None:
+    # Build in dense-code order so Triple.of can index directly.
+    for code in range(27):
+        v1, rem = divmod(code, 9)
+        v2, v3 = divmod(rem, 3)
+        Triple._interned.append(Triple(v1, v2, v3))
+
+
+_intern_all()
+
+
+def all_triples() -> Iterator[Triple]:
+    """Iterate over all 27 triples in dense-code order."""
+    return iter(Triple._interned)
+
+
+#: Stable logic 0 on both patterns (``000``).
+STABLE0: Triple = Triple.of(ZERO, ZERO, ZERO)
+#: Stable logic 1 on both patterns (``111``).
+STABLE1: Triple = Triple.of(ONE, ONE, ONE)
+#: Rising transition (``0x1``).
+RISE: Triple = Triple.of(ZERO, X, ONE)
+#: Falling transition (``1x0``).
+FALL: Triple = Triple.of(ONE, X, ZERO)
+#: Completely unknown (``xxx``).
+UNKNOWN: Triple = Triple.of(X, X, X)

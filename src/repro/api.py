@@ -1,0 +1,114 @@
+"""High-level convenience API.
+
+These helpers chain the full pipeline -- load/expand circuit, enumerate the
+longest paths, select target sets, generate tests -- behind one call each,
+with the paper's defaults scaled by two arguments (``max_faults`` = N_P,
+``p0_min_faults`` = N_P0).
+"""
+
+from __future__ import annotations
+
+from .atpg.enrich import EnrichmentReport, generate_enriched
+from .atpg.generator import AtpgConfig, Heuristic, generate_basic
+from .atpg.justify import Justifier, has_implication_conflict
+from .atpg.requirements import RequirementSet
+from .atpg.result import GenerationResult
+from .circuit.library import load_circuit
+from .circuit.netlist import Netlist
+from .circuit.transform import pdf_ready
+from .faults.conditions import Mode
+from .faults.universe import TargetSets, build_target_sets
+from .sim.batch import BatchSimulator
+
+__all__ = ["resolve_circuit", "prepare_targets", "basic_atpg_circuit", "enrich_circuit"]
+
+
+def resolve_circuit(circuit: str | Netlist) -> Netlist:
+    """Accept a registry name or an existing netlist; ensure PDF-ready."""
+    netlist = load_circuit(circuit) if isinstance(circuit, str) else circuit
+    return pdf_ready(netlist)
+
+
+def prepare_targets(
+    circuit: str | Netlist,
+    max_faults: int = 10000,
+    p0_min_faults: int = 1000,
+    mode: Mode = "robust",
+    filter_implications: bool = True,
+    simulator: BatchSimulator | None = None,
+) -> TargetSets:
+    """Enumerate paths and build the target sets ``P0`` / ``P1``.
+
+    ``filter_implications`` enables the paper's second undetectable-fault
+    elimination (implication conflicts); it costs one necessary-value
+    fixpoint per enumerated fault.
+    """
+    netlist = resolve_circuit(circuit)
+    implication_filter = None
+    if filter_implications:
+        justifier = Justifier(netlist, simulator or BatchSimulator(netlist))
+
+        def implication_filter(record):  # noqa: E306 - tiny closure
+            requirements = RequirementSet(record.sens.requirements)
+            return not has_implication_conflict(justifier, requirements)
+
+    return build_target_sets(
+        netlist,
+        max_faults=max_faults,
+        p0_min_faults=p0_min_faults,
+        mode=mode,
+        implication_filter=implication_filter,
+    )
+
+
+def basic_atpg_circuit(
+    circuit: str | Netlist,
+    heuristic: Heuristic = "values",
+    max_faults: int = 10000,
+    p0_min_faults: int = 1000,
+    seed: int = 1,
+    mode: Mode = "robust",
+    targets: TargetSets | None = None,
+    max_secondary_attempts: int | None = None,
+) -> GenerationResult:
+    """Basic test generation for ``P0`` only (Tables 3 and 4).
+
+    Pass a pre-built ``targets`` to reuse one enumeration across several
+    heuristics (as the paper's experiments do).
+    """
+    netlist = resolve_circuit(circuit)
+    if targets is None:
+        targets = prepare_targets(
+            netlist, max_faults=max_faults, p0_min_faults=p0_min_faults, mode=mode
+        )
+    config = AtpgConfig(
+        heuristic=heuristic, seed=seed, max_secondary_attempts=max_secondary_attempts
+    )
+    return generate_basic(netlist, targets.p0, config)
+
+
+def enrich_circuit(
+    circuit: str | Netlist,
+    max_faults: int = 10000,
+    p0_min_faults: int = 1000,
+    seed: int = 1,
+    mode: Mode = "robust",
+    targets: TargetSets | None = None,
+    max_secondary_attempts: int | None = None,
+) -> EnrichmentReport:
+    """Full test enrichment with ``P0`` and ``P1`` (Table 6).
+
+    Uses the value-based compaction heuristic, the one the paper selects
+    for the enrichment procedure.
+    """
+    netlist = resolve_circuit(circuit)
+    if targets is None:
+        targets = prepare_targets(
+            netlist, max_faults=max_faults, p0_min_faults=p0_min_faults, mode=mode
+        )
+    config = AtpgConfig(
+        heuristic="values", seed=seed, max_secondary_attempts=max_secondary_attempts
+    )
+    report = generate_enriched(netlist, targets, config)
+    assert isinstance(report, EnrichmentReport)
+    return report

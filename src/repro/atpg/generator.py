@@ -1,0 +1,381 @@
+"""Test generation with dynamic compaction (Section 2.2) and multiple
+target-fault pools (Section 3.2).
+
+One engine, :class:`TestGenerator`, implements both procedures of the
+paper:
+
+* **basic**: a single pool ``[P]``; primaries and secondaries come from it;
+* **enrichment**: pools ``[P0, P1]``; primaries come only from ``P0``;
+  secondary target faults are drawn from ``P0`` first and from ``P1`` only
+  after every ``P0`` candidate has been considered, so detecting ``P1``
+  faults never adds tests.
+
+Per-test flow (compaction on):
+
+1. pick the primary target fault (per the heuristic) and justify a test for
+   ``A(p0)``; a failed primary is marked *tried* and stays eligible for
+   accidental detection;
+2. repeatedly pick a secondary candidate, merge its ``A(p_i)`` into the
+   requirement union, and re-run the whole justification (the paper's
+   variant of [8]: a fresh test is generated after every accepted fault, so
+   earlier value choices never block later faults).  Rejected candidates
+   are removed from ``P(t)`` and not retried for this test;
+3. fault-simulate the finished test against every remaining fault and drop
+   all detections.
+
+Cheap exact filters prune the expensive re-justification: a candidate whose
+requirements conflict with the union can never be added, and a candidate
+already covered by the current test needs no targeting (the fault
+simulation of step 3 will drop it).
+
+Compaction heuristics (Section 2.2): ``uncomp`` (no secondaries),
+``arbit`` (fault-list order), ``length`` (longest path first), ``values``
+(minimum ``n_delta`` -- fewest new value components first).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..circuit.netlist import Netlist
+from ..faults.universe import FaultRecord
+from ..sim.batch import BatchSimulator
+from ..sim.cover import CompiledRequirements
+from .heuristics import order_pool
+from .justify import Justifier, JustifyResult, JustifyStats
+from .requirements import RequirementSet
+from .result import GeneratedTest, GenerationResult
+
+__all__ = ["Heuristic", "AtpgConfig", "TestGenerator", "generate_basic"]
+
+Heuristic = Literal["uncomp", "arbit", "length", "values"]
+
+_HEURISTICS = ("uncomp", "arbit", "length", "values")
+
+
+@dataclass(frozen=True)
+class AtpgConfig:
+    """Knobs of a generation run.
+
+    Attributes
+    ----------
+    heuristic:
+        Compaction heuristic (see module docstring).
+    seed:
+        Seed for all random decisions (fully deterministic runs).
+    max_secondary_attempts:
+        Budget of secondary *justification attempts* per test **per target
+        pool**; ``None`` reproduces the paper exactly (every remaining
+        fault is considered once per test).  The budget is per pool so the
+        enrichment phase (secondaries from P1) always runs even when the
+        P0 candidates exhaust their own budget.  The exact
+        conflict/coverage filters do not count against the budget.
+    retry_primaries:
+        Number of justification attempts per primary target fault
+        (the paper uses 1; more attempts trade run time for coverage).
+    engine:
+        ``"simulation"`` (the paper's randomized justifier) or ``"bnb"``
+        (complete branch-and-bound).  The paper notes that the run-to-run
+        variations of its results "can be eliminated by using a
+        branch-and-bound procedure"; ``engine="bnb"`` is exactly that
+        variant -- fully deterministic, independent of ``seed``, but
+        slower.
+    bnb_node_limit:
+        Search budget per justification for the BnB engine; an exhausted
+        search counts as a failed attempt.
+    """
+
+    heuristic: Heuristic = "values"
+    seed: int = 1
+    max_secondary_attempts: int | None = None
+    retry_primaries: int = 1
+    engine: str = "simulation"
+    bnb_node_limit: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.heuristic not in _HEURISTICS:
+            raise ValueError(
+                f"unknown heuristic {self.heuristic!r}; pick one of {_HEURISTICS}"
+            )
+        if self.retry_primaries < 1:
+            raise ValueError("retry_primaries must be >= 1")
+        if self.engine not in ("simulation", "bnb"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+
+
+class _PoolState:
+    """Mutable view of one target pool during generation."""
+
+    def __init__(self, records: Sequence[FaultRecord], order: str) -> None:
+        # Stable ordering chosen once: list order for uncomp/arbit,
+        # longest-path-first for length/values.
+        self.records = order_pool(records, order)
+        self.alive = [True] * len(self.records)
+        self.tried_primary = [False] * len(self.records)
+
+    def live_indices(self) -> list[int]:
+        return [i for i, alive in enumerate(self.alive) if alive]
+
+    def next_primary(self) -> int | None:
+        """First alive record not yet tried as a primary (pool order)."""
+        for i, record in enumerate(self.records):
+            if self.alive[i] and not self.tried_primary[i]:
+                return i
+        return None
+
+    @property
+    def detected_count(self) -> int:
+        return sum(1 for alive in self.alive if not alive)
+
+
+class TestGenerator:
+    """Dynamic-compaction path-delay-fault test generator."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: AtpgConfig | None = None,
+        simulator: BatchSimulator | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.config = config or AtpgConfig()
+        self.simulator = simulator or BatchSimulator(netlist)
+        self.justifier = Justifier(netlist, self.simulator)
+        self._bnb = None
+        if self.config.engine == "bnb":
+            from .bnb import BranchAndBoundJustifier
+
+            self._bnb = BranchAndBoundJustifier(netlist, self.simulator)
+
+    def _justify(self, requirements: RequirementSet, rng) -> JustifyResult | None:
+        """Dispatch to the configured justification engine."""
+        if self._bnb is None:
+            return self.justifier.justify(requirements, rng)
+        from .bnb import SearchExhausted
+
+        try:
+            test = self._bnb.justify(
+                requirements, node_limit=self.config.bnb_node_limit
+            )
+        except SearchExhausted:
+            return None
+        if test is None:
+            return None
+        sim = self.simulator.run_triples([test.assignment])
+        return JustifyResult(test=test, sim_codes=sim[:, :, 0])
+
+    # ------------------------------------------------------------------
+
+    def generate(self, pools: Sequence[Sequence[FaultRecord]]) -> GenerationResult:
+        """Run test generation over target pools (primaries from pool 0)."""
+        config = self.config
+        rng = random.Random(config.seed)
+        started = time.perf_counter()
+        totals = JustifyStats()
+        states = [_PoolState(pool, config.heuristic) for pool in pools]
+        compiled: list[list[CompiledRequirements]] = [
+            [CompiledRequirements(r.sens.requirements) for r in state.records]
+            for state in states
+        ]
+        tests: list[GeneratedTest] = []
+        aborted = 0
+        attempts_total = 0
+        successes_total = 0
+
+        def merge_stats(stats: JustifyStats) -> None:
+            totals.simulations += stats.simulations
+            totals.rounds += stats.rounds
+            totals.decisions += stats.decisions
+            totals.necessary_assignments += stats.necessary_assignments
+
+        while True:
+            primary_pool = states[0]
+            primary_index = primary_pool.next_primary()
+            if primary_index is None:
+                break
+            primary_pool.tried_primary[primary_index] = True
+            primary = primary_pool.records[primary_index]
+            requirements = RequirementSet(primary.sens.requirements)
+            result: JustifyResult | None = None
+            for _attempt in range(config.retry_primaries):
+                result = self._justify(requirements, rng)
+                if result is not None:
+                    merge_stats(result.stats)
+                    break
+                # A failed attempt leaves no state behind; retry re-rolls
+                # the random decisions.
+            if result is None:
+                aborted += 1
+                continue
+
+            targeted = [primary]
+            if config.heuristic != "uncomp":
+                result, requirements, attempts, successes = self._compact(
+                    result,
+                    requirements,
+                    targeted,
+                    states,
+                    compiled,
+                    skip=(0, primary_index),
+                    rng=rng,
+                    merge_stats=merge_stats,
+                )
+                attempts_total += attempts
+                successes_total += successes
+
+            detected = self._drop_detected(result.sim_codes, states, compiled)
+            # The test was justified against U A(p_j) for P(t), so every
+            # targeted fault must be among the detections.
+            targeted_keys = {record.fault.key() for record in targeted}
+            detected_keys = {record.fault.key() for record in detected}
+            missing = targeted_keys - detected_keys
+            if missing:  # pragma: no cover - core invariant
+                raise AssertionError(
+                    f"test fails to detect targeted fault(s): {sorted(missing)[:3]}"
+                )
+            tests.append(
+                GeneratedTest(
+                    test=result.test,
+                    primary=primary,
+                    targeted=targeted,
+                    detected=detected,
+                )
+            )
+
+        return GenerationResult(
+            netlist=self.netlist,
+            heuristic=config.heuristic,
+            tests=tests,
+            pools=[list(state.records) for state in states],
+            detected_by_pool=[state.detected_count for state in states],
+            aborted_primaries=aborted,
+            runtime_seconds=time.perf_counter() - started,
+            justify_stats=totals,
+            secondary_attempts=attempts_total,
+            secondary_successes=successes_total,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _compact(
+        self,
+        result: JustifyResult,
+        requirements: RequirementSet,
+        targeted: list[FaultRecord],
+        states: list[_PoolState],
+        compiled: list[list[CompiledRequirements]],
+        skip: tuple[int, int],
+        rng: random.Random,
+        merge_stats,
+    ) -> tuple[JustifyResult, RequirementSet, int, int]:
+        """Fold secondary target faults into the test, pool by pool.
+
+        Returns the final justification result, the final requirement
+        union, and the (attempted, accepted) counters.
+        """
+        config = self.config
+        attempts = 0
+        successes = 0
+        for pool_index, state in enumerate(states):
+            # The attempt budget is per pool: the paper's enrichment relies
+            # on every P1 fault being considered after P0 is exhausted, so
+            # a shared budget would silently skip the enrichment phase.
+            pool_attempts = 0
+            budget = config.max_secondary_attempts
+            candidates = [
+                i
+                for i in state.live_indices()
+                if (pool_index, i) != skip
+            ]
+            considered = [False] * len(state.records)
+            while candidates:
+                if budget is not None and pool_attempts >= budget:
+                    break
+                # Drop candidates the current test already covers: the
+                # closing fault simulation will detect them for free.
+                sim_column = result.sim_codes[:, :, None]
+                keep: list[int] = []
+                for i in candidates:
+                    if considered[i]:
+                        continue
+                    if compiled[pool_index][i].covered_by(sim_column)[0]:
+                        considered[i] = True
+                        continue
+                    keep.append(i)
+                candidates = keep
+                if not candidates:
+                    break
+
+                pick: int | None = None
+                if config.heuristic == "values":
+                    best_delta: int | None = None
+                    for i in candidates:
+                        delta = requirements.delta_count(
+                            state.records[i].sens.requirements
+                        )
+                        if delta is None:
+                            considered[i] = True
+                            continue
+                        if best_delta is None or delta < best_delta:
+                            best_delta = delta
+                            pick = i
+                else:  # arbit / length: fixed pool order
+                    for i in candidates:
+                        if not requirements.conflicts_with(
+                            state.records[i].sens.requirements
+                        ):
+                            pick = i
+                            break
+                        considered[i] = True
+                if pick is None:
+                    candidates = [i for i in candidates if not considered[i]]
+                    continue
+
+                considered[pick] = True
+                candidates = [i for i in candidates if i != pick]
+                candidate = state.records[pick]
+                trial = requirements.try_add(candidate.sens.requirements)
+                assert trial is not None  # conflict-filtered above
+                attempts += 1
+                pool_attempts += 1
+                attempt = self._justify(trial, rng)
+                if attempt is None:
+                    continue
+                merge_stats(attempt.stats)
+                result = attempt
+                requirements = trial
+                targeted.append(candidate)
+                successes += 1
+        return result, requirements, attempts, successes
+
+    def _drop_detected(
+        self,
+        sim_codes: np.ndarray,
+        states: list[_PoolState],
+        compiled: list[list[CompiledRequirements]],
+    ) -> list[FaultRecord]:
+        """Fault-simulate one finished test; drop and return detections."""
+        detected: list[FaultRecord] = []
+        sim_column = sim_codes[:, :, None]
+        for state, pool_compiled in zip(states, compiled):
+            for i in state.live_indices():
+                if pool_compiled[i].covered_by(sim_column)[0]:
+                    state.alive[i] = False
+                    detected.append(state.records[i])
+        return detected
+
+
+def generate_basic(
+    netlist: Netlist,
+    records: Sequence[FaultRecord],
+    config: AtpgConfig | None = None,
+    simulator: BatchSimulator | None = None,
+) -> GenerationResult:
+    """Basic test generation for a single target set (Section 2)."""
+    generator = TestGenerator(netlist, config, simulator)
+    return generator.generate([records])

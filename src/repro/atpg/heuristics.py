@@ -1,0 +1,37 @@
+"""Fault-ordering helpers for the compaction heuristics (Section 2.2).
+
+The generator consults these when laying out a target pool:
+
+* ``uncomp`` / ``arbit`` -- the arbitrary order: faults exactly as they
+  appear in the fault list (which follows enumeration order);
+* ``length`` / ``values`` -- longest path first.  Long paths impose the
+  most values, are rarely detected accidentally, and if left for last each
+  would likely need a private test; front-loading them keeps the test
+  count down (the rationale given in the paper, crediting [4]).
+
+The *secondary* selection rule of ``values`` (minimum ``n_delta``) is
+dynamic and lives in the generator; the static orders live here so they
+are testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..faults.universe import FaultRecord
+
+__all__ = ["order_pool", "longest_first"]
+
+
+def longest_first(records: Sequence[FaultRecord]) -> list[FaultRecord]:
+    """Sort faults by descending path length (stable, fully deterministic)."""
+    return sorted(records, key=lambda record: (-record.length, record.fault.key()))
+
+
+def order_pool(records: Sequence[FaultRecord], heuristic: str) -> list[FaultRecord]:
+    """Initial pool order for a compaction heuristic."""
+    if heuristic in ("length", "values"):
+        return longest_first(records)
+    if heuristic in ("uncomp", "arbit"):
+        return list(records)
+    raise ValueError(f"unknown heuristic {heuristic!r}")

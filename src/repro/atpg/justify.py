@@ -1,0 +1,281 @@
+"""Simulation-based justification (Section 2.1 of the paper).
+
+Given a set of required line values (the union of ``A(p)`` over the faults
+assigned to the test under construction), the justifier searches for a
+fully specified two-pattern test:
+
+1. every primary input starts as ``x x x``;
+2. **necessary values**: for every unspecified input position ``beta_ij``
+   (``j in {1, 3}``; the intermediate position is derived), both values are
+   tried by trial simulation.  If each of 0 and 1 contradicts a required
+   value, the search fails; if exactly one contradicts, the other is
+   assigned permanently.  This repeats to a fixpoint;
+3. **decisions**: when no necessary value exists, an input with exactly one
+   specified endpoint is completed to a *stable* value if possible;
+   otherwise a random unspecified position gets a random value.  Back to 2.
+
+There is no backtracking -- a conflict after random decisions simply fails
+the attempt, exactly as in the paper (which points out that a
+branch-and-bound procedure would remove the resulting variance; see
+:mod:`repro.atpg.bnb` for that extension).
+
+Key properties used for efficiency:
+
+* three-valued simulation is *monotone*: specifying more inputs only
+  refines ``x`` components and never flips a specified one.  Hence once the
+  requirements are **covered** by a partial assignment, any completion
+  works, and the remaining inputs are filled with random stable values.
+* all candidate values of one fixpoint round are simulated as a single
+  batch (one column per candidate) by :class:`~repro.sim.batch.BatchSimulator`.
+* only inputs in the transitive fanin of required lines are searched; other
+  inputs cannot affect the requirements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algebra.ternary import ONE, X, ZERO
+from ..algebra.triple import Triple
+from ..circuit.analysis import support_inputs
+from ..circuit.netlist import Netlist
+from ..sim.batch import BatchSimulator
+from ..sim.vectors import TwoPatternTest
+from .requirements import RequirementSet
+
+__all__ = ["Justifier", "JustifyResult", "JustifyStats", "has_implication_conflict"]
+
+_UNASSIGNED = -1
+
+
+@dataclass
+class JustifyStats:
+    """Work counters for one justification attempt."""
+
+    simulations: int = 0
+    rounds: int = 0
+    decisions: int = 0
+    necessary_assignments: int = 0
+
+
+@dataclass
+class JustifyResult:
+    """A successful justification: the test plus its simulated values."""
+
+    test: TwoPatternTest
+    #: Node codes of shape ``(n_nodes, 3)`` for the final test.
+    sim_codes: np.ndarray
+    stats: JustifyStats = field(default_factory=JustifyStats)
+
+
+class _SearchState:
+    """Endpoint assignments (pattern 1 / pattern 2) for the support inputs."""
+
+    def __init__(self, support: list[int]) -> None:
+        self.support = support
+        self.b1 = {pi: _UNASSIGNED for pi in support}
+        self.b3 = {pi: _UNASSIGNED for pi in support}
+
+    def unresolved(self) -> list[tuple[int, int]]:
+        """Unspecified (input, position) pairs; position is 1 or 3."""
+        positions = []
+        for pi in self.support:
+            if self.b1[pi] == _UNASSIGNED:
+                positions.append((pi, 1))
+            if self.b3[pi] == _UNASSIGNED:
+                positions.append((pi, 3))
+        return positions
+
+    def assign(self, pi: int, position: int, value: int) -> None:
+        if position == 1:
+            self.b1[pi] = value
+        else:
+            self.b3[pi] = value
+
+    def triple_of(self, pi: int) -> Triple:
+        v1 = self.b1[pi] if self.b1[pi] != _UNASSIGNED else X
+        v3 = self.b3[pi] if self.b3[pi] != _UNASSIGNED else X
+        if v1 == X or v3 == X:
+            v2 = X
+        else:
+            v2 = v1 if v1 == v3 else X
+        return Triple.of(v1, v2, v3)
+
+    def half_specified_input(self) -> tuple[int, int, int] | None:
+        """An input with exactly one endpoint set: (pi, open position, value).
+
+        Implements the paper's preference for completing inputs to stable
+        values before resorting to random decisions.
+        """
+        for pi in self.support:
+            one, three = self.b1[pi], self.b3[pi]
+            if one != _UNASSIGNED and three == _UNASSIGNED:
+                return (pi, 3, one)
+            if one == _UNASSIGNED and three != _UNASSIGNED:
+                return (pi, 1, three)
+        return None
+
+
+class Justifier:
+    """Reusable justification engine bound to one netlist."""
+
+    def __init__(self, netlist: Netlist, simulator: BatchSimulator | None = None) -> None:
+        self.netlist = netlist
+        self.simulator = simulator or BatchSimulator(netlist)
+        self._pi_row = {pi: row for row, pi in enumerate(netlist.input_indices)}
+        self._n_pis = len(netlist.input_indices)
+        self._support_cache: dict[frozenset[int], list[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _support(self, requirements: RequirementSet) -> list[int]:
+        key = frozenset(requirements.values.keys())
+        cached = self._support_cache.get(key)
+        if cached is None:
+            cached = support_inputs(self.netlist, key)
+            if len(self._support_cache) > 4096:
+                self._support_cache.clear()
+            self._support_cache[key] = cached
+        return cached
+
+    def _base_codes(self, state: _SearchState) -> np.ndarray:
+        """Current assignment as one ``(n_pis, 3)`` code column."""
+        base = np.full((self._n_pis, 3), X, dtype=np.int8)
+        for pi in state.support:
+            triple = state.triple_of(pi)
+            row = self._pi_row[pi]
+            base[row, 0] = triple.v1
+            base[row, 1] = triple.v2
+            base[row, 2] = triple.v3
+        return base
+
+    @staticmethod
+    def _with_candidate(
+        base: np.ndarray, row: int, position: int, value: int
+    ) -> np.ndarray:
+        """Copy of ``base`` with one endpoint set (intermediate re-derived)."""
+        column = base.copy()
+        column[row, 0 if position == 1 else 2] = value
+        v1, v3 = column[row, 0], column[row, 2]
+        column[row, 1] = v1 if (v1 == v3 and v1 != X) else X
+        return column
+
+    def _fixpoint(
+        self,
+        state: _SearchState,
+        requirements: RequirementSet,
+        stats: JustifyStats,
+    ) -> str:
+        """Assign all necessary values.
+
+        Returns ``"conflict"``, ``"covered"`` (requirements already
+        satisfied) or ``"stuck"`` (a decision is needed).
+        """
+        compiled = requirements.compiled()
+        while True:
+            stats.rounds += 1
+            unresolved = state.unresolved()
+            base = self._base_codes(state)
+            columns = [base]
+            for pi, position in unresolved:
+                row = self._pi_row[pi]
+                columns.append(self._with_candidate(base, row, position, ZERO))
+                columns.append(self._with_candidate(base, row, position, ONE))
+            batch = np.stack(columns, axis=2)  # (n_pis, 3, K)
+            sim = self.simulator.run_codes(batch)
+            stats.simulations += 1
+            consistent = compiled.consistent_with(sim)
+            if not consistent[0]:
+                return "conflict"
+            if compiled.covered_by(sim[:, :, :1])[0]:
+                return "covered"
+            changed = False
+            for index, (pi, position) in enumerate(unresolved):
+                zero_ok = bool(consistent[1 + 2 * index])
+                one_ok = bool(consistent[2 + 2 * index])
+                if not zero_ok and not one_ok:
+                    return "conflict"
+                if zero_ok != one_ok:
+                    state.assign(pi, position, ZERO if zero_ok else ONE)
+                    stats.necessary_assignments += 1
+                    changed = True
+            if not changed:
+                return "stuck" if unresolved else "conflict"
+
+    # ------------------------------------------------------------------
+
+    def justify(
+        self,
+        requirements: RequirementSet,
+        rng: random.Random,
+    ) -> JustifyResult | None:
+        """Search for a fully specified test satisfying ``requirements``.
+
+        Returns ``None`` when the (incomplete, randomized) search fails.
+        """
+        stats = JustifyStats()
+        state = _SearchState(self._support(requirements))
+        covered = False
+        while True:
+            status = self._fixpoint(state, requirements, stats)
+            if status == "conflict":
+                return None
+            if status == "covered":
+                covered = True
+                break
+            # status == "stuck": make a decision.
+            half = state.half_specified_input()
+            if half is not None:
+                pi, position, value = half
+                state.assign(pi, position, value)
+            else:
+                unresolved = state.unresolved()
+                if not unresolved:
+                    break  # fully specified but not covered -> verify below
+                pi, position = rng.choice(unresolved)
+                state.assign(pi, position, rng.randint(ZERO, ONE))
+            stats.decisions += 1
+
+        # Complete every input to a fully specified waveform.  Monotonicity
+        # of three-valued simulation guarantees coverage is preserved.
+        assignment: dict[int, Triple] = {}
+        for pi in self.netlist.input_indices:
+            if pi in state.b1:
+                v1, v3 = state.b1[pi], state.b3[pi]
+                v1 = v1 if v1 != _UNASSIGNED else rng.randint(ZERO, ONE)
+                v3 = v3 if v3 != _UNASSIGNED else rng.randint(ZERO, ONE)
+            else:
+                v1 = v3 = rng.randint(ZERO, ONE)  # outside the support cone
+            assignment[pi] = Triple.transition(v1, v3)
+        test = TwoPatternTest(assignment)
+
+        sim = self.simulator.run_triples([assignment])
+        stats.simulations += 1
+        if not requirements.compiled().covered_by(sim)[0]:
+            if covered:  # pragma: no cover - would indicate a simulator bug
+                raise AssertionError("monotonicity violated: covered test regressed")
+            return None
+        return JustifyResult(test=test, sim_codes=sim[:, :, 0], stats=stats)
+
+
+def has_implication_conflict(
+    netlist_or_justifier: Netlist | Justifier, requirements: RequirementSet
+) -> bool:
+    """Paper's type-2 undetectability check via implications.
+
+    Runs only the necessary-value fixpoint (no random decisions).  When the
+    fixpoint derives a hard conflict -- some input position where both
+    values contradict the requirements, or a requirement already
+    contradicted -- no test can exist and the fault is undetectable.
+    """
+    justifier = (
+        netlist_or_justifier
+        if isinstance(netlist_or_justifier, Justifier)
+        else Justifier(netlist_or_justifier)
+    )
+    state = _SearchState(justifier._support(requirements))
+    status = justifier._fixpoint(state, requirements, JustifyStats())
+    return status == "conflict"

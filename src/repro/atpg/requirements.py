@@ -1,0 +1,107 @@
+"""Accumulated requirement sets for multi-fault tests (Section 2.2).
+
+A test under construction must satisfy the union
+``U { A(p_j) : p_j in P(t) }`` of the requirement sets of every fault
+assigned to it.  :class:`RequirementSet` maintains that union as a mapping
+node -> merged :class:`Triple`, detects conflicts on addition, and computes
+the quantity the value-based compaction heuristic minimizes:
+``n_delta(p_i) = |A(p_i) - U A(p_j)|`` -- the number of *new* value
+components fault ``p_i`` would add.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..algebra.triple import Triple
+from ..sim.cover import CompiledRequirements
+
+__all__ = ["RequirementSet"]
+
+
+class RequirementSet:
+    """An immutable union of fault requirement sets."""
+
+    __slots__ = ("_values", "_compiled")
+
+    def __init__(self, values: Mapping[int, Triple] | None = None) -> None:
+        self._values: dict[int, Triple] = dict(values) if values else {}
+        self._compiled: CompiledRequirements | None = None
+
+    # ------------------------------------------------------------------
+
+    def try_add(self, addition: Mapping[int, Triple]) -> "RequirementSet | None":
+        """Return a new set with ``addition`` merged in, or ``None`` on conflict.
+
+        ``addition`` is typically the ``A(p)`` of a candidate secondary
+        target fault.  The receiver is never modified.
+        """
+        merged = dict(self._values)
+        for node, triple in addition.items():
+            existing = merged.get(node)
+            if existing is None:
+                merged[node] = triple
+            else:
+                combined = existing.merge(triple)
+                if combined is None:
+                    return None
+                merged[node] = combined
+        result = RequirementSet.__new__(RequirementSet)
+        result._values = merged
+        result._compiled = None
+        return result
+
+    def delta_count(self, addition: Mapping[int, Triple]) -> int | None:
+        """``n_delta``: number of new value components, or ``None`` on conflict.
+
+        This implements the value-based secondary-target selection: the
+        fault whose requirements are already mostly implied by the current
+        union is the cheapest to add.
+        """
+        total = 0
+        for node, triple in addition.items():
+            existing = self._values.get(node)
+            if existing is None:
+                total += triple.specified_count()
+                continue
+            if existing.merge(triple) is None:
+                return None
+            total += triple.new_components_vs(existing)
+        return total
+
+    def conflicts_with(self, addition: Mapping[int, Triple]) -> bool:
+        """True when merging ``addition`` is impossible."""
+        for node, triple in addition.items():
+            existing = self._values.get(node)
+            if existing is not None and existing.merge(triple) is None:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def values(self) -> Mapping[int, Triple]:
+        """The merged node -> triple mapping (do not mutate)."""
+        return self._values
+
+    def compiled(self) -> CompiledRequirements:
+        """Flattened arrays for batch checking (cached)."""
+        if self._compiled is None:
+            self._compiled = CompiledRequirements(self._values)
+        return self._compiled
+
+    def component_count(self) -> int:
+        """Total number of specified value components."""
+        return sum(t.specified_count() for t in self._values.values())
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[tuple[int, Triple]]:
+        return iter(self._values.items())
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._values
+
+    def __repr__(self) -> str:
+        return f"RequirementSet({len(self._values)} lines, {self.component_count()} components)"

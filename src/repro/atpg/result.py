@@ -1,0 +1,92 @@
+"""Result containers for test generation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..circuit.netlist import Netlist
+from ..faults.universe import FaultRecord
+from ..sim.vectors import TwoPatternTest
+from .justify import JustifyStats
+
+__all__ = ["GeneratedTest", "GenerationResult"]
+
+
+@dataclass
+class GeneratedTest:
+    """One generated test and the faults it targets/detects.
+
+    ``targeted`` is the paper's ``P(t)`` -- the primary target fault plus
+    every secondary target fault whose requirements were folded into the
+    test by re-justification.  ``detected`` is the (superset) result of
+    fault-simulating the finished test against all remaining faults:
+    accidental detections land here too.
+    """
+
+    test: TwoPatternTest
+    primary: FaultRecord
+    targeted: list[FaultRecord]
+    detected: list[FaultRecord] = field(default_factory=list)
+
+    @property
+    def num_targeted(self) -> int:
+        return len(self.targeted)
+
+    @property
+    def num_detected(self) -> int:
+        return len(self.detected)
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of a complete test generation run.
+
+    ``pools`` holds the target-fault pools the run started from
+    (``[P]`` for the basic procedure, ``[P0, P1]`` for enrichment);
+    ``detected_by_pool`` the per-pool detected counts.
+    """
+
+    netlist: Netlist
+    heuristic: str
+    tests: list[GeneratedTest]
+    pools: list[list[FaultRecord]]
+    detected_by_pool: list[int]
+    aborted_primaries: int
+    runtime_seconds: float
+    justify_stats: JustifyStats
+    secondary_attempts: int = 0
+    secondary_successes: int = 0
+
+    @property
+    def num_tests(self) -> int:
+        """Size of the generated test set."""
+        return len(self.tests)
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of target faults across all pools."""
+        return sum(len(pool) for pool in self.pools)
+
+    @property
+    def total_detected(self) -> int:
+        """Total number of faults detected across all pools."""
+        return sum(self.detected_by_pool)
+
+    @property
+    def test_vectors(self) -> list[TwoPatternTest]:
+        """Just the two-pattern tests, in generation order."""
+        return [t.test for t in self.tests]
+
+    def detected_in_pool(self, pool_index: int) -> int:
+        """Detected count for one pool."""
+        return self.detected_by_pool[pool_index]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        pool_bits = ", ".join(
+            f"P{i}: {det}/{len(pool)}"
+            for i, (pool, det) in enumerate(zip(self.pools, self.detected_by_pool))
+        )
+        return (
+            f"{self.netlist.name} [{self.heuristic}]: {self.num_tests} tests, "
+            f"{pool_bits} detected, {self.runtime_seconds:.2f}s"
+        )

@@ -1,0 +1,69 @@
+"""Combinational netlist substrate: model, parser, transforms, analysis."""
+
+from .analysis import (
+    CircuitStats,
+    analyze,
+    count_paths,
+    distance_to_outputs,
+    input_cone,
+    longest_path_length,
+    output_cone,
+    path_length_counts,
+    support_inputs,
+)
+from .bench import (
+    BenchParseError,
+    SequentialInfo,
+    load_bench,
+    parse_bench,
+    write_bench,
+)
+from .library import available_circuits, load_circuit
+from .netlist import (
+    CONTROLLING_VALUE,
+    INVERTING_TYPES,
+    GateType,
+    Netlist,
+    NetlistError,
+    Node,
+    build_netlist,
+)
+from .synth import SynthProfile, generate
+from .transform import expand_xor, pdf_ready, renamed, strip_unreachable
+from .validate import Issue, ValidationError, assert_valid, validate
+
+__all__ = [
+    "Netlist",
+    "Node",
+    "GateType",
+    "NetlistError",
+    "build_netlist",
+    "INVERTING_TYPES",
+    "CONTROLLING_VALUE",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "BenchParseError",
+    "SequentialInfo",
+    "expand_xor",
+    "strip_unreachable",
+    "renamed",
+    "pdf_ready",
+    "analyze",
+    "CircuitStats",
+    "count_paths",
+    "path_length_counts",
+    "longest_path_length",
+    "distance_to_outputs",
+    "input_cone",
+    "output_cone",
+    "support_inputs",
+    "validate",
+    "assert_valid",
+    "Issue",
+    "ValidationError",
+    "SynthProfile",
+    "generate",
+    "available_circuits",
+    "load_circuit",
+]

@@ -1,0 +1,190 @@
+"""ISCAS-89 ``.bench`` format parser and writer.
+
+The ``.bench`` format describes circuits as::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G14 = NOT(G0)
+    G8 = AND(G14, G6)
+
+Sequential elements (``DFF``) are handled by *combinational extraction*, the
+standard preprocessing step used by the paper for the ISCAS-89 and ITC-99
+circuits ("we consider the combinational logic of ..."):
+
+* a flip-flop's output becomes a pseudo primary input,
+* a flip-flop's data input becomes a pseudo primary output.
+
+The parser records which inputs/outputs are pseudo in the returned
+:class:`SequentialInfo` so reports can distinguish them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .netlist import GateType, Netlist, NetlistError
+
+__all__ = ["SequentialInfo", "BenchParseError", "parse_bench", "load_bench", "write_bench"]
+
+_GATE_TYPES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}
+
+_ASSIGN_RE = re.compile(
+    r"^\s*([\w.\[\]$]+)\s*=\s*([A-Za-z]+)\s*\(([^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w.\[\]$]+)\s*\)\s*$", re.IGNORECASE)
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+@dataclass
+class SequentialInfo:
+    """Bookkeeping from combinational extraction of a sequential circuit."""
+
+    #: Names of flip-flop outputs turned into pseudo primary inputs.
+    pseudo_inputs: list[str] = field(default_factory=list)
+    #: Names of flip-flop data nets turned into pseudo primary outputs.
+    pseudo_outputs: list[str] = field(default_factory=list)
+    #: Mapping flip-flop output name -> its data input name.
+    dff_map: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_dffs(self) -> int:
+        """Number of flip-flops removed by extraction."""
+        return len(self.dff_map)
+
+
+def parse_bench(text: str, name: str = "bench") -> tuple[Netlist, SequentialInfo]:
+    """Parse ``.bench`` text into a frozen combinational :class:`Netlist`.
+
+    Returns ``(netlist, sequential_info)``.  Raises
+    :class:`BenchParseError` on syntax errors and :class:`NetlistError`
+    on structural problems (cycles, dangling nets).
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[tuple[str, GateType, tuple[str, ...]]] = []
+    info = SequentialInfo()
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, signal = io_match.group(1).upper(), io_match.group(2)
+            if kind == "INPUT":
+                inputs.append(signal)
+            else:
+                outputs.append(signal)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchParseError(f"cannot parse statement: {line!r}", line_no)
+        target, func, args_text = assign.groups()
+        func = func.upper()
+        args = tuple(a.strip() for a in args_text.split(",") if a.strip())
+        if func == "DFF":
+            if len(args) != 1:
+                raise BenchParseError(f"DFF takes one input, got {args}", line_no)
+            info.pseudo_inputs.append(target)
+            info.pseudo_outputs.append(args[0])
+            info.dff_map[target] = args[0]
+            continue
+        if func in ("CONST0", "GND", "TIE0"):
+            gates.append((target, GateType.CONST0, ()))
+            continue
+        if func in ("CONST1", "VDD", "TIE1"):
+            gates.append((target, GateType.CONST1, ()))
+            continue
+        gate_type = _GATE_TYPES.get(func)
+        if gate_type is None:
+            raise BenchParseError(f"unknown gate function {func!r}", line_no)
+        if not args:
+            raise BenchParseError(f"gate {target!r} has no inputs", line_no)
+        gates.append((target, gate_type, args))
+
+    netlist = Netlist(name)
+    for signal in inputs:
+        netlist.add_input(signal)
+    for signal in info.pseudo_inputs:
+        netlist.add_input(signal)
+    for gate_name, gate_type, fanin in gates:
+        netlist.add_gate(gate_name, gate_type, fanin)
+    seen: set[str] = set()
+    for signal in outputs + info.pseudo_outputs:
+        if signal in seen:
+            continue
+        seen.add(signal)
+        netlist.add_output(signal)
+    try:
+        netlist.freeze()
+    except NetlistError as exc:
+        raise BenchParseError(f"invalid circuit structure: {exc}") from exc
+    return netlist, info
+
+
+def load_bench(path: str | Path, name: str | None = None) -> tuple[Netlist, SequentialInfo]:
+    """Parse a ``.bench`` file from disk.
+
+    The netlist name defaults to the file stem (``s27`` for ``s27.bench``).
+    """
+    path = Path(path)
+    text = path.read_text()
+    return parse_bench(text, name=name or path.stem)
+
+
+_WRITE_NAMES = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.CONST0: "CONST0",
+    GateType.CONST1: "CONST1",
+}
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a combinational netlist back to ``.bench`` text.
+
+    Round-trips with :func:`parse_bench` for purely combinational circuits
+    (flip-flops were already removed by extraction and are not re-created).
+    """
+    lines = [f"# {netlist.name}"]
+    for signal in netlist.input_names:
+        lines.append(f"INPUT({signal})")
+    for signal in netlist.output_names:
+        lines.append(f"OUTPUT({signal})")
+    lines.append("")
+    for node in netlist.nodes:
+        if node.is_input:
+            continue
+        func = _WRITE_NAMES[node.gate_type]
+        lines.append(f"{node.name} = {func}({', '.join(node.fanin)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,365 @@
+"""Deterministic synthetic benchmark-circuit generator.
+
+The original ISCAS-89 / ITC-99 netlists the paper evaluates cannot be
+redistributed into this workspace, so experiments run on *proxy* circuits:
+pseudo-random combinational netlists whose size, depth and path-population
+profile are calibrated to the published characteristics (at least 1000
+paths, a spread of near-critical path lengths).  See DESIGN.md, section 2.
+
+Generation is fully deterministic given a :class:`SynthProfile` (the seed is
+part of the profile), so every test and benchmark sees the identical
+circuit.
+
+Construction sketch:
+
+1. Emit ``n_inputs`` primary inputs.
+2. Emit ``n_gates`` gates one at a time.  Each gate draws its type from
+   ``type_weights`` (plus NOT/BUF with probability ``p_inverter``) and its
+   fanin from already-created nodes, biased towards *recent* nodes with an
+   exponential window -- small windows make long chains (deep circuits,
+   many near-critical paths), large windows make shallow circuits.
+3. Unused primary inputs are mixed into fresh gates so every pin matters.
+4. Sink nodes (no fanout) become primary outputs; if there are more sinks
+   than ``n_outputs``, balanced OR collector trees consolidate them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .netlist import CONTROLLING_VALUE, GateType, Netlist
+
+__all__ = ["SynthProfile", "generate"]
+
+_DEFAULT_WEIGHTS = {
+    GateType.AND: 3.0,
+    GateType.NAND: 3.0,
+    GateType.OR: 3.0,
+    GateType.NOR: 3.0,
+}
+
+
+@dataclass(frozen=True)
+class SynthProfile:
+    """Parameters of one synthetic circuit.
+
+    Two construction styles are available:
+
+    * ``"mesh"`` -- unstructured random DAG logic.  Parameterized by
+      ``n_gates``/``window``/``p_inverter``/``fanin3_prob``.  Path-rich,
+      but the longest paths of deep meshes are rarely *robustly* testable
+      (their off-path requirements conflict massively), just like the
+      hardest industrial control logic.
+    * ``"chain"`` -- datapath-style logic: ``rails`` parallel chains of
+      ``depth`` stages.  Each stage gate combines a previous rail with
+      either another rail (probability ``q2``, multiplying the path count)
+      or a fresh shallow *side* literal of a primary input.  This mimics
+      carry/mux chains, whose long paths are robustly testable because the
+      side inputs have nearly independent support.  This is the style the
+      experiment proxies use; see DESIGN.md.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (also used as the registry key suffix).
+    seed:
+        RNG seed; the circuit is a pure function of the profile.
+    n_inputs / n_gates:
+        Interface width and (mesh) gate budget.
+    n_outputs:
+        Target number of primary outputs; sinks beyond this are merged by
+        OR collector trees.  ``None`` keeps every sink as an output.
+    window:
+        Mesh fanin locality.  Fanin indices are drawn roughly
+        ``Exp(window)`` nodes behind the newest node, so smaller windows
+        yield deeper circuits with more near-critical paths.
+    p_inverter:
+        Probability that a mesh gate is a NOT (fanin 1).
+    fanin3_prob:
+        Probability that a multi-input mesh gate has three inputs.
+    type_weights:
+        Relative weights of AND/NAND/OR/NOR for multi-input gates.
+    style:
+        ``"mesh"`` or ``"chain"``.
+    rails / depth / q2:
+        Chain-style parameters: number of parallel rails, stages per rail,
+        probability a stage merges two rails.
+    p_flip:
+        Chain style: each primary input has a fixed *preferred polarity*
+        and side literals are inverted so that the robust side requirement
+        asks for that polarity (the way enable/select pins have consistent
+        active levels in real datapaths).  With probability ``p_flip`` a
+        literal deliberately violates the preference, creating the
+        realistic fraction of robustly untestable long paths.
+    """
+
+    name: str
+    seed: int
+    n_inputs: int
+    n_gates: int = 0
+    n_outputs: int | None = None
+    window: float = 12.0
+    p_inverter: float = 0.12
+    fanin3_prob: float = 0.25
+    type_weights: dict[GateType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_WEIGHTS)
+    )
+    style: str = "mesh"
+    rails: int = 4
+    depth: int = 20
+    q2: float = 0.3
+    p_flip: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 2:
+            raise ValueError("need at least 2 primary inputs")
+        if self.style not in ("mesh", "chain"):
+            raise ValueError(f"unknown style {self.style!r}")
+        if self.style == "mesh" and self.n_gates < 1:
+            raise ValueError("mesh style needs at least 1 gate")
+        if self.style == "chain" and (self.rails < 2 or self.depth < 2):
+            raise ValueError("chain style needs rails >= 2 and depth >= 2")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+
+def _pick_recent(rng: random.Random, count: int, window: float) -> int:
+    """Draw a node index biased towards the most recent of ``count`` nodes."""
+    offset = int(rng.expovariate(1.0 / window))
+    if offset >= count:
+        offset = rng.randrange(count)
+    return count - 1 - offset
+
+
+def _pick_fanin(
+    rng: random.Random,
+    count: int,
+    arity: int,
+    window: float,
+    unused_inputs: set[int],
+) -> list[int]:
+    """Choose ``arity`` distinct fanin indices among nodes ``0..count-1``."""
+    chosen: list[int] = []
+    # Prefer pulling in a not-yet-used primary input now and then so the
+    # whole interface participates in the logic.
+    if unused_inputs and rng.random() < 0.35:
+        pick = rng.choice(sorted(unused_inputs))
+        chosen.append(pick)
+    attempts = 0
+    while len(chosen) < arity:
+        candidate = _pick_recent(rng, count, window)
+        attempts += 1
+        if candidate not in chosen:
+            chosen.append(candidate)
+        elif attempts > 50:  # tiny circuits can exhaust distinct candidates
+            for fallback in range(count):
+                if fallback not in chosen:
+                    chosen.append(fallback)
+                    break
+            else:
+                break
+    rng.shuffle(chosen)
+    return chosen
+
+
+def generate(profile: SynthProfile) -> Netlist:
+    """Build the frozen synthetic netlist described by ``profile``."""
+    if profile.style == "chain":
+        return _generate_chain(profile)
+    return _generate_mesh(profile)
+
+
+def _generate_chain(profile: SynthProfile) -> Netlist:
+    """Datapath-style rails-and-stages construction (see class docstring)."""
+    rng = random.Random(profile.seed)
+    netlist = Netlist(profile.name)
+    types, weights = zip(
+        *sorted(profile.type_weights.items(), key=lambda kv: kv[0].value)
+    )
+
+    pis = []
+    for i in range(profile.n_inputs):
+        name = f"I{i}"
+        netlist.add_input(name)
+        pis.append(name)
+
+    # Side literals.  Each primary input has a fixed preferred polarity;
+    # a side literal that must carry value ``required`` is inverted (via a
+    # lazily created shared NOT) exactly when the required value differs
+    # from that preference.  A small fraction of literals (p_flip) break
+    # the preference on purpose -- those create the robustly untestable
+    # long paths every real circuit has.
+    polarity = {pi: rng.randint(0, 1) for pi in pis}
+    inverted: dict[str, str] = {}
+
+    def side_literal(required: int) -> str:
+        pi = rng.choice(pis)
+        wanted = polarity[pi]
+        if rng.random() < profile.p_flip:
+            wanted = 1 - wanted
+        if required == wanted:
+            return pi
+        if pi not in inverted:
+            inv_name = f"n_{pi}"
+            netlist.add_gate(inv_name, GateType.NOT, (pi,))
+            inverted[pi] = inv_name
+        return inverted[pi]
+
+    # Guard enables are dedicated primary inputs (like select/enable pins):
+    # a guard literal must carry *different* values depending on whether
+    # the tested path runs through the guard or past it, so sharing these
+    # pins with the ordinary side literals would make most long paths
+    # robustly untestable.
+    guard_pins: list[str] = []
+    guard_uses = 0
+
+    def guard_literal() -> str:
+        nonlocal guard_uses
+        if len(guard_pins) < 40:
+            name = f"E{len(guard_pins)}"
+            netlist.add_input(name)
+            guard_pins.append(name)
+            return name
+        name = guard_pins[guard_uses % len(guard_pins)]
+        guard_uses += 1
+        return name
+
+    # Rails start from distinct primary inputs (wrapping when there are
+    # fewer inputs than rails).
+    rails = [pis[i % len(pis)] for i in range(profile.rails)]
+    gate_counter = 0
+    taps: list[str] = []
+
+    for stage in range(profile.depth):
+        next_rails: list[str] = []
+        for r in range(profile.rails):
+            main = rails[r]
+            # Rails advance unevenly so path lengths spread out: a rail may
+            # stall (no gate this stage), advance one gate, or advance a
+            # gate plus an inverter.  This produces the near-critical
+            # length population (P1) the enrichment procedure targets.
+            advance = rng.choices((0, 1, 2), weights=(0.18, 0.62, 0.20))[0]
+            if advance == 0 and stage > 0:
+                next_rails.append(main)
+                continue
+            gate_type = rng.choices(types, weights=weights)[0]
+            non_controlling = 1 - CONTROLLING_VALUE[gate_type]
+            if rng.random() < profile.q2 and stage > 0:
+                # Merge another rail in -- but through a *guard* gate whose
+                # free side literal can force the guard output to the merge
+                # gate's non-controlling value.  Without the guard, the
+                # off-path requirement "this whole rail steady" is almost
+                # always unsatisfiable, which is unlike real datapaths
+                # (their side inputs are gated/enabled).
+                other = rails[rng.randrange(profile.rails)]
+                if other == main:
+                    other = rails[(r + 1) % profile.rails]
+                guard_name = f"s{stage}_g{r}_{gate_counter}"
+                gate_counter += 1
+                if non_controlling == 1:  # AND/NAND merge: literal 1 forces 1
+                    netlist.add_gate(
+                        guard_name, GateType.OR, (other, guard_literal())
+                    )
+                else:  # OR/NOR merge: literal 0 forces 0
+                    netlist.add_gate(
+                        guard_name, GateType.AND, (other, guard_literal())
+                    )
+                second = guard_name
+            else:
+                second = side_literal(non_controlling)
+            name = f"s{stage}_r{r}_{gate_counter}"
+            gate_counter += 1
+            operands = [main, second]
+            rng.shuffle(operands)
+            netlist.add_gate(name, gate_type, tuple(operands))
+            if advance == 2:
+                inv_name = f"{name}_n"
+                netlist.add_gate(inv_name, GateType.NOT, (name,))
+                name = inv_name
+            next_rails.append(name)
+        rails = next_rails
+        # Occasionally tap a rail to a primary output, giving paths of
+        # intermediate lengths (the near-critical population P1 feeds on).
+        if stage >= profile.depth // 2 and rng.random() < 0.30:
+            taps.append(rails[rng.randrange(profile.rails)])
+
+    outputs: list[str] = []
+    seen: set[str] = set()
+    for name in rails + taps:
+        if name not in seen:
+            seen.add(name)
+            outputs.append(name)
+    for name in outputs:
+        netlist.add_output(name)
+    return netlist.freeze()
+
+
+def _generate_mesh(profile: SynthProfile) -> Netlist:
+    """Unstructured random-DAG construction."""
+    rng = random.Random(profile.seed)
+    netlist = Netlist(profile.name)
+
+    names: list[str] = []
+    for i in range(profile.n_inputs):
+        name = f"I{i}"
+        netlist.add_input(name)
+        names.append(name)
+    unused_inputs = set(range(profile.n_inputs))
+
+    types, weights = zip(*sorted(profile.type_weights.items(), key=lambda kv: kv[0].value))
+
+    has_fanout: set[int] = set()
+
+    def consume(indices: list[int]) -> tuple[str, ...]:
+        for index in indices:
+            unused_inputs.discard(index)
+            has_fanout.add(index)
+        return tuple(names[i] for i in indices)
+
+    for g in range(profile.n_gates):
+        gate_name = f"g{g}"
+        count = len(names)
+        if rng.random() < profile.p_inverter:
+            fanin = _pick_fanin(rng, count, 1, profile.window, unused_inputs)
+            netlist.add_gate(gate_name, GateType.NOT, consume(fanin))
+        else:
+            arity = 3 if rng.random() < profile.fanin3_prob else 2
+            arity = min(arity, count)
+            gate_type = rng.choices(types, weights=weights)[0]
+            fanin = _pick_fanin(rng, count, arity, profile.window, unused_inputs)
+            netlist.add_gate(gate_name, gate_type, consume(fanin))
+        names.append(gate_name)
+
+    # Fold leftover unused primary inputs into fresh gates.
+    extra = 0
+    for pi in sorted(unused_inputs):
+        partner = _pick_recent(rng, len(names), profile.window)
+        gate_name = f"gu{extra}"
+        extra += 1
+        netlist.add_gate(
+            gate_name,
+            rng.choices(types, weights=weights)[0],
+            (names[pi], names[partner]),
+        )
+        has_fanout.add(pi)
+        has_fanout.add(partner)
+        names.append(gate_name)
+
+    sinks = [i for i in range(len(names)) if i not in has_fanout]
+    target = profile.n_outputs
+    if target is not None and len(sinks) > target:
+        # Consolidate surplus sinks with balanced OR collector trees.
+        collector = 0
+        rng.shuffle(sinks)
+        while len(sinks) > target:
+            a = sinks.pop()
+            b = sinks.pop()
+            gate_name = f"po{collector}"
+            collector += 1
+            netlist.add_gate(gate_name, GateType.OR, (names[a], names[b]))
+            names.append(gate_name)
+            sinks.append(len(names) - 1)
+    for sink in sorted(sinks):
+        netlist.add_output(names[sink])
+    return netlist.freeze()

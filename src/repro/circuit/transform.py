@@ -1,0 +1,137 @@
+"""Netlist transformations.
+
+* :func:`expand_xor` -- rewrite XOR/XNOR gates into AND/OR/NOT logic.  The
+  robust sensitization conditions of the path-delay-fault model are
+  conjunctive (a fixed set of line values, Section 2.1 of the paper), but a
+  robust side-input condition through an XOR gate is *disjunctive* (the side
+  input must be stable at either 0 or 1).  Expanding XOR into AND/OR/NOT
+  logic before path analysis is the standard resolution and the one this
+  library uses; see DESIGN.md.
+* :func:`strip_unreachable` -- drop logic that cannot reach any primary
+  output (such logic would otherwise produce partial paths that can never
+  complete).
+* :func:`renamed` -- create a copy with a new circuit name.
+"""
+
+from __future__ import annotations
+
+from .netlist import GateType, Netlist
+
+__all__ = ["expand_xor", "strip_unreachable", "renamed", "pdf_ready"]
+
+
+def _fresh(base: str, suffix: str, taken: set[str]) -> str:
+    """Pick an unused node name derived from ``base``."""
+    candidate = f"{base}{suffix}"
+    counter = 0
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base}{suffix}_{counter}"
+    taken.add(candidate)
+    return candidate
+
+
+def expand_xor(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Return a copy with every XOR/XNOR replaced by AND/OR/NOT logic.
+
+    A two-input XOR ``y = a ^ b`` becomes::
+
+        na = NOT(a); nb = NOT(b)
+        t0 = AND(a, nb); t1 = AND(na, b)
+        y  = OR(t0, t1)
+
+    Wider XOR gates are first decomposed into a balanced tree of two-input
+    XORs.  XNOR uses the complementary product terms ``AND(a, b)`` /
+    ``AND(na, nb)``.  The output node keeps its original name, so primary
+    outputs and fanout references are unaffected.
+    """
+    out = Netlist(name or netlist.name)
+    taken = {node.name for node in netlist.nodes}
+
+    def emit_xor2(result: str, a: str, b: str, invert: bool) -> None:
+        not_a = _fresh(result, "__na", taken)
+        not_b = _fresh(result, "__nb", taken)
+        term0 = _fresh(result, "__t0", taken)
+        term1 = _fresh(result, "__t1", taken)
+        out.add_gate(not_a, GateType.NOT, (a,))
+        out.add_gate(not_b, GateType.NOT, (b,))
+        if invert:  # XNOR: a.b + na.nb
+            out.add_gate(term0, GateType.AND, (a, b))
+            out.add_gate(term1, GateType.AND, (not_a, not_b))
+        else:  # XOR: a.nb + na.b
+            out.add_gate(term0, GateType.AND, (a, not_b))
+            out.add_gate(term1, GateType.AND, (not_a, b))
+        out.add_gate(result, GateType.OR, (term0, term1))
+
+    def emit_xor_tree(result: str, fanin: tuple[str, ...], invert: bool) -> None:
+        signals = list(fanin)
+        if len(signals) == 1:
+            out.add_gate(result, GateType.NOT if invert else GateType.BUF, signals)
+            return
+        # Reduce pairwise until two signals remain, then emit the root.
+        while len(signals) > 2:
+            level: list[str] = []
+            for i in range(0, len(signals) - 1, 2):
+                inner = _fresh(result, f"__x{len(taken)}", taken)
+                emit_xor2(inner, signals[i], signals[i + 1], invert=False)
+                level.append(inner)
+            if len(signals) % 2 == 1:
+                level.append(signals[-1])
+            signals = level
+        emit_xor2(result, signals[0], signals[1], invert=invert)
+
+    for node in netlist.nodes:
+        if node.is_input:
+            out.add_input(node.name)
+        elif node.gate_type is GateType.XOR:
+            emit_xor_tree(node.name, node.fanin, invert=False)
+        elif node.gate_type is GateType.XNOR:
+            emit_xor_tree(node.name, node.fanin, invert=True)
+        else:
+            out.add_gate(node.name, node.gate_type, node.fanin)
+    for signal in netlist.output_names:
+        out.add_output(signal)
+    return out.freeze()
+
+
+def strip_unreachable(netlist: Netlist, name: str | None = None) -> Netlist:
+    """Return a copy without nodes that cannot reach any primary output.
+
+    Primary inputs are always kept (removing circuit pins would change the
+    interface); only internal gates are dropped.
+    """
+    from .analysis import distance_to_outputs
+
+    distance = distance_to_outputs(netlist)
+    out = Netlist(name or netlist.name)
+    for node in netlist.nodes:
+        if node.is_input:
+            out.add_input(node.name)
+        elif distance[node.index] >= 0:
+            out.add_gate(node.name, node.gate_type, node.fanin)
+    for signal in netlist.output_names:
+        out.add_output(signal)
+    return out.freeze()
+
+
+def renamed(netlist: Netlist, name: str) -> Netlist:
+    """Return a structurally identical copy with a different circuit name."""
+    out = Netlist(name)
+    for node in netlist.nodes:
+        if node.is_input:
+            out.add_input(node.name)
+        else:
+            out.add_gate(node.name, node.gate_type, node.fanin)
+    for signal in netlist.output_names:
+        out.add_output(signal)
+    return out.freeze()
+
+
+def pdf_ready(netlist: Netlist) -> Netlist:
+    """Return a netlist the path-delay-fault engine accepts.
+
+    Expands XOR/XNOR when present; otherwise returns the input unchanged.
+    """
+    if netlist.is_pdf_ready():
+        return netlist
+    return expand_xor(netlist)

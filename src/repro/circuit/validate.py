@@ -1,0 +1,107 @@
+"""Structural validation of netlists.
+
+Freezing a netlist already rejects hard errors (cycles, dangling nets).
+:func:`validate` performs the softer checks a test engineer cares about and
+returns a list of :class:`Issue` records instead of raising, so callers can
+decide which findings matter.  :func:`assert_valid` raises when any issue of
+severity ``error`` is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analysis import distance_to_outputs
+from .netlist import GateType, Netlist
+
+__all__ = ["Issue", "validate", "assert_valid", "ValidationError"]
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    node: str | None
+    message: str
+
+    def __str__(self) -> str:
+        where = f" [{self.node}]" if self.node else ""
+        return f"{self.severity.upper()} {self.code}{where}: {self.message}"
+
+
+class ValidationError(ValueError):
+    """Raised by :func:`assert_valid` when errors are found."""
+
+    def __init__(self, issues: list[Issue]) -> None:
+        super().__init__("; ".join(str(issue) for issue in issues))
+        self.issues = issues
+
+
+def validate(netlist: Netlist) -> list[Issue]:
+    """Run all structural checks, returning findings (possibly empty)."""
+    issues: list[Issue] = []
+    distance = distance_to_outputs(netlist)
+
+    for node in netlist.nodes:
+        # Duplicate fanin makes robust path sensitization through the gate
+        # self-conflicting; flag it so users understand missing coverage.
+        if len(set(node.fanin)) != len(node.fanin):
+            issues.append(
+                Issue(
+                    "warning",
+                    "duplicate-fanin",
+                    node.name,
+                    f"gate has repeated input(s): {node.fanin}",
+                )
+            )
+        if distance[node.index] < 0:
+            severity = "warning" if node.is_input else "error"
+            issues.append(
+                Issue(
+                    severity,
+                    "unreachable-output",
+                    node.name,
+                    "no primary output is reachable from this node",
+                )
+            )
+        if node.gate_type in (GateType.XOR, GateType.XNOR):
+            issues.append(
+                Issue(
+                    "warning",
+                    "xor-gate",
+                    node.name,
+                    "XOR/XNOR must be expanded (circuit.transform.expand_xor) "
+                    "before path-delay-fault analysis",
+                )
+            )
+
+    # Inputs that drive nothing are usually netlist extraction bugs.
+    for pi in netlist.input_indices:
+        node = netlist.node_at(pi)
+        if not netlist.fanout(pi) and node.name not in netlist.output_names:
+            issues.append(
+                Issue(
+                    "warning",
+                    "floating-input",
+                    node.name,
+                    "primary input drives no gate",
+                )
+            )
+    return issues
+
+
+def assert_valid(netlist: Netlist, allow_warnings: bool = True) -> None:
+    """Raise :class:`ValidationError` when validation finds problems.
+
+    With ``allow_warnings=True`` (default) only ``error`` severity fails.
+    """
+    issues = validate(netlist)
+    failing = [
+        issue
+        for issue in issues
+        if issue.severity == "error" or not allow_warnings
+    ]
+    if failing:
+        raise ValidationError(failing)

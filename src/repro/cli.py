@@ -1,0 +1,207 @@
+"""Command line interface (``repro-pdf`` / ``python -m repro``).
+
+Subcommands:
+
+* ``circuits``  -- list the registry with structural statistics.
+* ``stats``     -- structural statistics for one circuit (or .bench file).
+* ``enumerate`` -- bounded longest-path enumeration and the length table.
+* ``atpg``      -- basic test generation (Section 2) for P0.
+* ``enrich``    -- test enrichment with P0 and P1 (Section 3).
+* ``tables``    -- regenerate the paper's Tables 1-7.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .api import basic_atpg_circuit, enrich_circuit, prepare_targets, resolve_circuit
+from .circuit import analyze, available_circuits, load_bench, validate
+from .experiments import (
+    SCALES,
+    TABLE3_CIRCUITS,
+    TABLE6_CIRCUITS,
+    run_all,
+)
+
+__all__ = ["main"]
+
+
+def _load(name_or_path: str):
+    """Resolve a registry name or a .bench file path to a netlist."""
+    if name_or_path.endswith(".bench") or "/" in name_or_path:
+        netlist, _ = load_bench(Path(name_or_path))
+        return netlist
+    return resolve_circuit(name_or_path)
+
+
+def _cmd_circuits(_args) -> int:
+    for name in available_circuits():
+        print(analyze(resolve_circuit(name)))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    netlist = _load(args.circuit)
+    print(analyze(netlist))
+    issues = validate(netlist)
+    for issue in issues:
+        print(f"  {issue}")
+    return 0 if not any(i.severity == "error" for i in issues) else 1
+
+
+def _cmd_enumerate(args) -> int:
+    netlist = _load(args.circuit)
+    targets = prepare_targets(
+        netlist,
+        max_faults=args.max_faults,
+        p0_min_faults=args.p0_min_faults,
+        filter_implications=not args.no_implications,
+    )
+    print(targets.summary())
+    print(targets.length_table.format(max_rows=args.rows))
+    return 0
+
+
+def _cmd_atpg(args) -> int:
+    netlist = _load(args.circuit)
+    result = basic_atpg_circuit(
+        netlist,
+        heuristic=args.heuristic,
+        max_faults=args.max_faults,
+        p0_min_faults=args.p0_min_faults,
+        seed=args.seed,
+        mode=args.mode,
+        max_secondary_attempts=args.budget,
+    )
+    print(result.summary())
+    if args.show_tests:
+        for generated in result.tests:
+            first, second = generated.test.patterns(netlist)
+            print(f"  {first} -> {second}  (+{generated.num_detected} faults)")
+    return 0
+
+
+def _cmd_enrich(args) -> int:
+    report = enrich_circuit(
+        _load(args.circuit),
+        max_faults=args.max_faults,
+        p0_min_faults=args.p0_min_faults,
+        seed=args.seed,
+        mode=args.mode,
+        max_secondary_attempts=args.budget,
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    if args.from_json:
+        from .experiments import ExperimentResults
+
+        results = ExperimentResults.from_json(Path(args.from_json).read_text())
+    else:
+        from .experiments import ExperimentScale, get_scale
+
+        scale = get_scale(args.scale)
+        if args.max_faults or args.p0_min_faults:
+            scale = ExperimentScale(
+                name=scale.name,
+                max_faults=args.max_faults or scale.max_faults,
+                p0_min_faults=args.p0_min_faults or scale.p0_min_faults,
+                max_secondary_attempts=scale.max_secondary_attempts,
+                seed=scale.seed,
+            )
+        circuits = TABLE3_CIRCUITS if not args.quick else TABLE3_CIRCUITS[:1]
+        table6 = TABLE6_CIRCUITS if not args.quick else TABLE6_CIRCUITS[:1]
+        results = run_all(scale, circuits=circuits, table6_circuits=table6)
+    if args.out:
+        Path(args.out).write_text(results.to_json())
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(results.format_all())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pdf",
+        description="Path delay fault ATPG with test enrichment "
+        "(Pomeranz & Reddy, DATE 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list available circuits").set_defaults(
+        func=_cmd_circuits
+    )
+
+    p_stats = sub.add_parser("stats", help="structural statistics")
+    p_stats.add_argument("circuit", help="registry name or .bench path")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    def add_scale_args(p):
+        p.add_argument("--max-faults", type=int, default=600, metavar="N_P")
+        p.add_argument("--p0-min-faults", type=int, default=150, metavar="N_P0")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--budget",
+            type=int,
+            default=None,
+            help="secondary justification attempts per test per pool "
+            "(default: unlimited, as in the paper)",
+        )
+        p.add_argument(
+            "--mode",
+            choices=("robust", "non_robust"),
+            default="robust",
+            help="sensitization conditions (non_robust is an extension)",
+        )
+
+    p_enum = sub.add_parser("enumerate", help="longest-path enumeration")
+    p_enum.add_argument("circuit")
+    p_enum.add_argument("--max-faults", type=int, default=600)
+    p_enum.add_argument("--p0-min-faults", type=int, default=150)
+    p_enum.add_argument("--rows", type=int, default=20)
+    p_enum.add_argument("--no-implications", action="store_true")
+    p_enum.set_defaults(func=_cmd_enumerate)
+
+    p_atpg = sub.add_parser("atpg", help="basic test generation for P0")
+    p_atpg.add_argument("circuit")
+    p_atpg.add_argument(
+        "--heuristic",
+        choices=("uncomp", "arbit", "length", "values"),
+        default="values",
+    )
+    add_scale_args(p_atpg)
+    p_atpg.add_argument("--show-tests", action="store_true")
+    p_atpg.set_defaults(func=_cmd_atpg)
+
+    p_enrich = sub.add_parser("enrich", help="test enrichment (P0 + P1)")
+    p_enrich.add_argument("circuit")
+    add_scale_args(p_enrich)
+    p_enrich.set_defaults(func=_cmd_enrich)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables.add_argument("--scale", choices=sorted(SCALES), default="default")
+    p_tables.add_argument("--out", help="also write results JSON here")
+    p_tables.add_argument("--from-json", help="render from cached results JSON")
+    p_tables.add_argument(
+        "--quick", action="store_true", help="only one circuit (smoke run)"
+    )
+    p_tables.add_argument(
+        "--max-faults", type=int, default=None, help="override the scale's N_P"
+    )
+    p_tables.add_argument(
+        "--p0-min-faults", type=int, default=None, help="override the scale's N_P0"
+    )
+    p_tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Experiment drivers reproducing the paper's Tables 1-7."""
+
+from .coverage import LengthCoverage, coverage_by_length, format_coverage_profile
+from .estimate import CoverageEstimate, estimate_coverage
+from .report import render_table
+from .scale import SCALES, ExperimentScale, get_scale
+from .tables import (
+    CircuitBasicResult,
+    ExperimentResults,
+    HeuristicOutcome,
+    Table1Result,
+    Table2Result,
+    Table6Row,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    format_table7,
+    run_all,
+    run_basic_experiments,
+    run_table1,
+    run_table2,
+    run_table6,
+)
+from .workloads import (
+    HEURISTICS,
+    TABLE3_CIRCUITS,
+    TABLE6_CIRCUITS,
+    TABLE6_EXTRA_CIRCUITS,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "run_table1",
+    "run_table2",
+    "run_basic_experiments",
+    "run_table6",
+    "run_all",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "format_table7",
+    "Table1Result",
+    "Table2Result",
+    "Table6Row",
+    "HeuristicOutcome",
+    "CircuitBasicResult",
+    "ExperimentResults",
+    "TABLE3_CIRCUITS",
+    "TABLE6_CIRCUITS",
+    "TABLE6_EXTRA_CIRCUITS",
+    "HEURISTICS",
+    "render_table",
+    "LengthCoverage",
+    "coverage_by_length",
+    "format_coverage_profile",
+    "CoverageEstimate",
+    "estimate_coverage",
+]

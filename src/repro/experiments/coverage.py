@@ -1,0 +1,75 @@
+"""Per-length coverage profiles.
+
+The enrichment procedure's value proposition is *where* the extra
+detections land: on the next-to-longest paths, exactly the region a plain
+`P0`-only test set leaves exposed.  These helpers break a detection result
+down by path length so examples and reports can show that profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..faults.universe import FaultRecord
+from .report import render_table
+
+__all__ = ["LengthCoverage", "coverage_by_length", "format_coverage_profile"]
+
+
+@dataclass(frozen=True)
+class LengthCoverage:
+    """Detection counts for one path length."""
+
+    length: int
+    detected: int
+    total: int
+
+    @property
+    def fraction(self) -> float:
+        """Detected fraction (0 when the bucket is empty)."""
+        return self.detected / self.total if self.total else 0.0
+
+
+def coverage_by_length(
+    records: Sequence[FaultRecord],
+    detected: Iterable[FaultRecord] | Iterable[tuple],
+) -> list[LengthCoverage]:
+    """Aggregate detection per path length, longest first.
+
+    ``detected`` may be the detected records themselves or their
+    ``fault.key()`` values.
+    """
+    detected_keys = set()
+    for item in detected:
+        detected_keys.add(item.fault.key() if isinstance(item, FaultRecord) else item)
+    totals: dict[int, int] = {}
+    hits: dict[int, int] = {}
+    for record in records:
+        totals[record.length] = totals.get(record.length, 0) + 1
+        if record.fault.key() in detected_keys:
+            hits[record.length] = hits.get(record.length, 0) + 1
+    return [
+        LengthCoverage(length=length, detected=hits.get(length, 0), total=totals[length])
+        for length in sorted(totals, reverse=True)
+    ]
+
+
+def format_coverage_profile(
+    profile: Sequence[LengthCoverage], title: str | None = None
+) -> str:
+    """Render a per-length coverage profile as a table."""
+    rows = [
+        (
+            entry.length,
+            entry.detected,
+            entry.total,
+            f"{100 * entry.fraction:.0f}%",
+        )
+        for entry in profile
+    ]
+    return render_table(
+        ["length", "detected", "total", "coverage"],
+        rows,
+        title=title or "Coverage by path length",
+    )

@@ -1,0 +1,37 @@
+"""Fixed-width table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table (right-aligned numbers)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for column, value in enumerate(row):
+            if column == 0:
+                parts.append(value.ljust(widths[column]))
+            else:
+                parts.append(value.rjust(widths[column]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Circuit workloads for each experiment.
+
+The paper's Tables 3-5 use eight circuits (five ISCAS-89, three ITC-99);
+Table 6 adds three "more testable" resynthesized circuits.  Our proxies
+carry the same names with a ``_proxy`` suffix; see DESIGN.md section 2 for
+the substitution rationale and ``repro.circuit.library`` for the profiles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE3_CIRCUITS",
+    "TABLE6_EXTRA_CIRCUITS",
+    "TABLE6_CIRCUITS",
+    "HEURISTICS",
+]
+
+#: Tables 3, 4, 5 and 7: the eight comparison circuits.
+TABLE3_CIRCUITS: tuple[str, ...] = (
+    "s641_proxy",
+    "s953_proxy",
+    "s1196_proxy",
+    "s1423_proxy",
+    "s1488_proxy",
+    "b03_proxy",
+    "b04_proxy",
+    "b09_proxy",
+)
+
+#: The resynthesized circuits added in Table 6 (starred in the paper).
+TABLE6_EXTRA_CIRCUITS: tuple[str, ...] = (
+    "s1423r_proxy",
+    "s5378r_proxy",
+    "s9234r_proxy",
+)
+
+#: Table 6 evaluates the union.
+TABLE6_CIRCUITS: tuple[str, ...] = TABLE3_CIRCUITS + TABLE6_EXTRA_CIRCUITS
+
+#: Compaction heuristics compared in Tables 3-5, in paper column order.
+HEURISTICS: tuple[str, ...] = ("uncomp", "arbit", "length", "values")

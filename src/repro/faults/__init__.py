@@ -1,0 +1,28 @@
+"""Path delay faults, sensitization conditions, and target-set selection."""
+
+from .conditions import Mode, Sensitization, SensitizationError, sensitize
+from .fault import PathDelayFault, Transition, faults_of_path, faults_of_paths
+from .path import Path, PathError
+from .universe import (
+    FaultRecord,
+    TargetSets,
+    build_target_sets,
+    partition_by_lengths,
+)
+
+__all__ = [
+    "Path",
+    "PathError",
+    "PathDelayFault",
+    "Transition",
+    "faults_of_path",
+    "faults_of_paths",
+    "sensitize",
+    "Sensitization",
+    "SensitizationError",
+    "Mode",
+    "FaultRecord",
+    "TargetSets",
+    "build_target_sets",
+    "partition_by_lengths",
+]

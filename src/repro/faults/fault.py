@@ -1,0 +1,107 @@
+"""Path delay faults.
+
+A path delay fault associates a physical path with a transition direction at
+the path's source:
+
+* **slow-to-rise** (STR): the source launches a rising transition (``0x1``)
+  and the fault is that the resulting transition arrives too late at the
+  path's output;
+* **slow-to-fall** (STF): likewise for a falling launch (``1x0``).
+
+Every path therefore carries exactly two faults.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+from ..algebra.triple import FALL, RISE, Triple
+from ..circuit.netlist import Netlist
+from .path import Path
+
+__all__ = ["Transition", "PathDelayFault", "faults_of_path", "faults_of_paths"]
+
+
+class Transition(enum.Enum):
+    """Direction of the transition launched at the path source."""
+
+    RISE = "str"  # slow-to-rise fault: source rises
+    FALL = "stf"  # slow-to-fall fault: source falls
+
+    @property
+    def source_triple(self) -> Triple:
+        """Waveform the source line must carry (``0x1`` or ``1x0``)."""
+        return RISE if self is Transition.RISE else FALL
+
+    @property
+    def opposite(self) -> "Transition":
+        """The other transition direction."""
+        return Transition.FALL if self is Transition.RISE else Transition.RISE
+
+    def __str__(self) -> str:
+        return "slow-to-rise" if self is Transition.RISE else "slow-to-fall"
+
+
+class PathDelayFault:
+    """A path delay fault: a path plus a source transition direction."""
+
+    __slots__ = ("path", "transition")
+
+    def __init__(self, path: Path, transition: Transition) -> None:
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "transition", transition)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PathDelayFault is immutable")
+
+    @property
+    def length(self) -> int:
+        """Length of the associated path (number of nodes)."""
+        return self.path.length
+
+    @property
+    def source(self) -> int:
+        """Dense index of the launching primary input."""
+        return self.path.source
+
+    @property
+    def sink(self) -> int:
+        """Dense index of the path's last node."""
+        return self.path.sink
+
+    def key(self) -> tuple[tuple[int, ...], str]:
+        """Stable, hashable identity used in ordering and reports."""
+        return (self.path.nodes, self.transition.value)
+
+    def __hash__(self) -> int:
+        return hash((self.path.nodes, self.transition))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PathDelayFault)
+            and self.path == other.path
+            and self.transition is other.transition
+        )
+
+    def __repr__(self) -> str:
+        return f"PathDelayFault({self.path!r}, {self.transition.name})"
+
+    def format(self, netlist: Netlist) -> str:
+        """Human-readable rendering, e.g. ``(G1, G12, G13) slow-to-rise``."""
+        return f"{self.path.format(netlist)} {self.transition}"
+
+
+def faults_of_path(path: Path) -> tuple[PathDelayFault, PathDelayFault]:
+    """The two faults (STR, STF) associated with one path."""
+    return (
+        PathDelayFault(path, Transition.RISE),
+        PathDelayFault(path, Transition.FALL),
+    )
+
+
+def faults_of_paths(paths: Iterable[Path]) -> Iterator[PathDelayFault]:
+    """All faults for a collection of paths, two per path."""
+    for path in paths:
+        yield PathDelayFault(path, Transition.RISE)
+        yield PathDelayFault(path, Transition.FALL)

@@ -1,0 +1,127 @@
+"""Physical paths through a combinational netlist.
+
+A :class:`Path` is an ordered sequence of node indices
+``(n_0, n_1, ..., n_k)`` where ``n_0`` is a primary input, every consecutive
+pair ``(n_i, n_{i+1})`` means *node n_i drives gate n_{i+1}*, and -- for a
+*complete* path -- ``n_k`` is a primary output.  Partial paths (used during
+enumeration) end before reaching an output.
+
+The path *length* is its node count, matching the paper's unit-delay model
+(see DESIGN.md for the fanout-branch caveat).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..circuit.netlist import Netlist
+
+__all__ = ["Path", "PathError"]
+
+
+class PathError(ValueError):
+    """Raised for structurally invalid paths."""
+
+
+class Path:
+    """An immutable path, stored as a tuple of dense node indices."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Sequence[int]) -> None:
+        if not nodes:
+            raise PathError("a path needs at least one node")
+        object.__setattr__(self, "nodes", tuple(nodes))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Path is immutable")
+
+    @classmethod
+    def from_names(cls, netlist: Netlist, names: Sequence[str]) -> "Path":
+        """Build a path from node names, validating connectivity."""
+        path = cls(tuple(netlist.index_of(name) for name in names))
+        path.validate(netlist)
+        return path
+
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> int:
+        """First node (the launching primary input)."""
+        return self.nodes[0]
+
+    @property
+    def sink(self) -> int:
+        """Last node."""
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Path length = number of nodes on the path."""
+        return len(self.nodes)
+
+    def extended(self, node: int) -> "Path":
+        """Return a new path with ``node`` appended."""
+        return Path(self.nodes + (node,))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over consecutive (driver, gate) pairs."""
+        for i in range(len(self.nodes) - 1):
+            yield self.nodes[i], self.nodes[i + 1]
+
+    def names(self, netlist: Netlist) -> tuple[str, ...]:
+        """Node names along the path."""
+        return tuple(netlist.node_at(i).name for i in self.nodes)
+
+    def is_complete(self, netlist: Netlist) -> bool:
+        """True when the path starts at a PI and ends at a PO."""
+        return (
+            netlist.node_at(self.source).is_input
+            and self.sink in netlist.output_indices
+        )
+
+    def validate(self, netlist: Netlist) -> None:
+        """Raise :class:`PathError` unless every edge is a real connection.
+
+        Checks that the first node is a primary input and each node on the
+        path is a fanin of the next.  Completeness (ending at a primary
+        output) is *not* required -- partial paths are legal.
+        """
+        if not netlist.node_at(self.source).is_input:
+            raise PathError(
+                f"path source {netlist.node_at(self.source).name!r} "
+                "is not a primary input"
+            )
+        for driver, gate in self.edges():
+            if driver not in netlist.fanin_indices(gate):
+                raise PathError(
+                    f"{netlist.node_at(driver).name!r} does not drive "
+                    f"{netlist.node_at(gate).name!r}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> int:
+        return self.nodes[index]
+
+    def __hash__(self) -> int:
+        return hash(self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Path) and self.nodes == other.nodes
+
+    def __lt__(self, other: "Path") -> bool:
+        return self.nodes < other.nodes
+
+    def __repr__(self) -> str:
+        return f"Path{self.nodes}"
+
+    def format(self, netlist: Netlist) -> str:
+        """Human-readable rendering, e.g. ``(G1, G12, G13)``."""
+        return "(" + ", ".join(self.names(netlist)) + ")"

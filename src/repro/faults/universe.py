@@ -1,0 +1,167 @@
+"""Target-fault-set construction: ``P``, ``P0`` and ``P1`` (Section 3.1).
+
+Pipeline:
+
+1. enumerate the faults on the longest paths (``repro.paths.enumerate``),
+   capped at ``N_P``;
+2. compute ``A(p)`` for each fault and drop self-conflicting faults (the
+   paper's type-1 undetectable elimination); optionally apply an
+   implication-based filter (type 2) supplied by the ATPG layer;
+3. build the length table and pick the smallest ``i_0`` such that the
+   faults on paths of length ``>= L_{i_0}`` number at least ``N_P0``;
+4. ``P0`` = those faults, ``P1`` = the remainder of ``P``.
+
+The resulting :class:`TargetSets` carries a :class:`FaultRecord` (fault +
+its sensitization requirements) for every surviving fault, which is the
+currency the test generator, fault simulator and enrichment driver trade
+in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from ..circuit.netlist import Netlist
+from .conditions import Mode, Sensitization, sensitize
+from .fault import PathDelayFault, faults_of_paths
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..paths.enumerate import EnumerationResult
+    from ..paths.lengths import LengthTable
+
+__all__ = ["FaultRecord", "TargetSets", "build_target_sets", "partition_by_lengths"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """A detectable-so-far fault together with its requirement set."""
+
+    fault: PathDelayFault
+    sens: Sensitization
+
+    @property
+    def length(self) -> int:
+        """Path length of the fault."""
+        return self.fault.length
+
+    def __repr__(self) -> str:
+        return f"FaultRecord({self.fault!r}, |A|={self.sens.num_values})"
+
+
+@dataclass
+class TargetSets:
+    """The sets of target faults the enrichment procedure works with."""
+
+    netlist: Netlist
+    #: First (mandatory) target set: faults on the longest paths.
+    p0: list[FaultRecord]
+    #: Second (opportunistic) target set: faults on next-to-longest paths.
+    p1: list[FaultRecord]
+    #: Row index i_0 selecting the P0/P1 length boundary.
+    i0: int
+    #: Length table over all surviving faults of P (Table 2 layout).
+    length_table: LengthTable
+    #: Faults removed because A(p) is self-conflicting (type 1).
+    dropped_conflict: int = 0
+    #: Faults removed by the implication filter (type 2).
+    dropped_implication: int = 0
+    #: Raw enumeration diagnostics.
+    enumeration: EnumerationResult | None = None
+
+    @property
+    def all_records(self) -> list[FaultRecord]:
+        """``P = P0 + P1`` (P0 first)."""
+        return self.p0 + self.p1
+
+    @property
+    def boundary_length(self) -> int:
+        """``L_{i_0}``: minimum path length admitted to ``P0``."""
+        return self.length_table.length_at(self.i0) if len(self.length_table) else 0
+
+    def summary(self) -> str:
+        """One-line description used by reports."""
+        return (
+            f"{self.netlist.name}: i0={self.i0} (L_i0={self.boundary_length}), "
+            f"|P0|={len(self.p0)}, |P1|={len(self.p1)}, "
+            f"dropped: {self.dropped_conflict} conflicting, "
+            f"{self.dropped_implication} by implication"
+        )
+
+
+def build_target_sets(
+    netlist: Netlist,
+    max_faults: int = 10000,
+    p0_min_faults: int = 1000,
+    mode: Mode = "robust",
+    use_distances: bool = True,
+    implication_filter: Callable[[FaultRecord], bool] | None = None,
+) -> "TargetSets":
+    """Construct ``P0`` and ``P1`` for a circuit.
+
+    Parameters mirror the paper: ``max_faults`` is ``N_P`` (default 10000)
+    and ``p0_min_faults`` is ``N_P0`` (default 1000).  The optional
+    ``implication_filter`` receives each surviving record and returns False
+    for faults proven undetectable by implications (see
+    :func:`repro.atpg.justify.has_implication_conflict` for the standard
+    choice).
+    """
+    from ..paths.enumerate import enumerate_paths
+    from ..paths.lengths import length_table_for_faults
+
+    enumeration = enumerate_paths(
+        netlist, max_faults=max_faults, use_distances=use_distances
+    )
+
+    records: list[FaultRecord] = []
+    dropped_conflict = 0
+    dropped_implication = 0
+    for fault in faults_of_paths(enumeration.paths):
+        sens = sensitize(netlist, fault, mode=mode)
+        if sens is None:
+            dropped_conflict += 1
+            continue
+        record = FaultRecord(fault, sens)
+        if implication_filter is not None and not implication_filter(record):
+            dropped_implication += 1
+            continue
+        records.append(record)
+
+    table = length_table_for_faults(record.fault for record in records)
+    i0 = table.select_index(p0_min_faults)
+    boundary = table.length_at(i0) if len(table) else 0
+    p0 = [record for record in records if record.length >= boundary]
+    p1 = [record for record in records if record.length < boundary]
+    return TargetSets(
+        netlist=netlist,
+        p0=p0,
+        p1=p1,
+        i0=i0,
+        length_table=table,
+        dropped_conflict=dropped_conflict,
+        dropped_implication=dropped_implication,
+        enumeration=enumeration,
+    )
+
+
+def partition_by_lengths(
+    records: Sequence[FaultRecord], boundaries: Iterable[int]
+) -> list[list[FaultRecord]]:
+    """Split records into subsets ``P0, P1, ..., Pk`` by length thresholds.
+
+    ``boundaries`` are decreasing minimum lengths; records with length
+    ``>= boundaries[0]`` go to the first subset, then ``>= boundaries[1]``,
+    and so on; anything below the last boundary forms the final subset.
+    This generalizes the two-set scheme the paper evaluates ("it is
+    possible to partition P into a larger number of subsets").
+    """
+    thresholds = sorted(set(boundaries), reverse=True)
+    subsets: list[list[FaultRecord]] = [[] for _ in range(len(thresholds) + 1)]
+    for record in records:
+        for rank, threshold in enumerate(thresholds):
+            if record.length >= threshold:
+                subsets[rank].append(record)
+                break
+        else:
+            subsets[-1].append(record)
+    return subsets

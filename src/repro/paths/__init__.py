@@ -1,0 +1,28 @@
+"""Bounded longest-path enumeration and length statistics."""
+
+from .enumerate import (
+    FAULTS_PER_PATH,
+    EnumerationOverflow,
+    EnumerationResult,
+    enumerate_paths,
+)
+from .lengths import (
+    LengthRow,
+    LengthTable,
+    length_table_for_faults,
+    length_table_for_paths,
+)
+from .sampling import PathSampler, sample_paths
+
+__all__ = [
+    "enumerate_paths",
+    "EnumerationResult",
+    "EnumerationOverflow",
+    "FAULTS_PER_PATH",
+    "LengthRow",
+    "LengthTable",
+    "length_table_for_faults",
+    "length_table_for_paths",
+    "PathSampler",
+    "sample_paths",
+]

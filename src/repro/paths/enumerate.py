@@ -1,0 +1,250 @@
+"""Bounded enumeration of the longest circuit paths (Section 3.1).
+
+Paths are enumerated from the primary inputs towards the primary outputs.
+At any point the working set ``P`` holds *complete* paths (ending at a
+primary output) and *partial* paths.  Whenever the number of faults in ``P``
+reaches the cap ``N_P`` (every path carries two faults), faults associated
+with the least promising paths are removed.  Two variants are implemented,
+matching the paper:
+
+**Basic** (``use_distances=False``) -- suitable for moderate path counts:
+partial paths are extended in FIFO order, and overflow removes only the
+*shortest complete* paths, never the longest complete ones and never
+partial paths.  (On circuits with huge path populations this cannot keep
+``P`` bounded; a safety limit raises :class:`EnumerationOverflow`.)
+
+**Distance-based** (``use_distances=True``, the default) -- uses
+``len(p) = |p| + d(g)``, the maximum length any completion of ``p`` can
+reach (``d(g)`` from :func:`repro.circuit.analysis.distance_to_outputs`,
+Figure 2 of the paper):
+
+1. the partial path with maximum ``len(p)`` is always extended next;
+2. overflow removes the paths (partial *or* complete) with minimum
+   ``len(p)``, until the fault count drops below ``N_P`` or every remaining
+   path has the same, maximum ``len(p)``.
+
+The result keeps only complete paths, sorted longest first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from ..circuit.analysis import distance_to_outputs
+from ..circuit.netlist import Netlist
+from ..faults.path import Path
+
+__all__ = ["EnumerationResult", "EnumerationOverflow", "enumerate_paths"]
+
+#: Each path carries two path delay faults (slow-to-rise, slow-to-fall).
+FAULTS_PER_PATH = 2
+
+
+class EnumerationOverflow(RuntimeError):
+    """Raised when the basic procedure cannot keep ``P`` within bounds."""
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of a bounded path enumeration.
+
+    Attributes
+    ----------
+    paths:
+        Complete paths, sorted by (length desc, nodes) -- deterministic.
+    cap_hit:
+        True when the fault cap forced removals (the enumeration is then a
+        *longest-paths* subset rather than the full population).
+    expansions / pruned_complete / pruned_partial:
+        Work counters for diagnostics and tests.
+    min_kept_length / max_kept_length:
+        Length range of the surviving complete paths (0/0 when empty).
+    """
+
+    paths: list[Path]
+    cap_hit: bool
+    expansions: int
+    pruned_complete: int
+    pruned_partial: int
+    min_kept_length: int = 0
+    max_kept_length: int = 0
+
+    @property
+    def num_faults(self) -> int:
+        """Number of path delay faults represented (two per path)."""
+        return FAULTS_PER_PATH * len(self.paths)
+
+
+@dataclass
+class _Record:
+    """One live entry of the working set."""
+
+    path: Path
+    reach: int  # len(p): length + d(sink); equals length for complete paths
+    complete: bool
+    alive: bool = True
+    seq: int = 0  # tiebreaker for deterministic heap ordering
+
+
+def enumerate_paths(
+    netlist: Netlist,
+    max_faults: int = 10000,
+    use_distances: bool = True,
+    max_expansions: int = 2_000_000,
+) -> EnumerationResult:
+    """Enumerate the faults on the longest paths, capped at ``max_faults``.
+
+    Parameters
+    ----------
+    netlist:
+        A frozen combinational netlist.
+    max_faults:
+        The paper's ``N_P``: upper bound on the number of faults (2 x paths,
+        counting partial paths) held in the working set.
+    use_distances:
+        Select the distance-based variant (default) or the basic one.
+    max_expansions:
+        Safety valve for the basic variant on path-rich circuits.
+    """
+    if max_faults < FAULTS_PER_PATH:
+        raise ValueError("max_faults must allow at least one path")
+
+    distance = distance_to_outputs(netlist)
+    is_output = [False] * len(netlist)
+    for out in netlist.output_indices:
+        is_output[out] = True
+
+    records: list[_Record] = []
+    live_count = 0
+    cap_hit = False
+    expansions = 0
+    pruned_complete = 0
+    pruned_partial = 0
+
+    # extend_heap: partial paths by -reach (distance variant).
+    extend_heap: list[tuple[int, int, int]] = []
+    extend_fifo: deque[int] = deque()
+    # prune_heap: all paths by reach (distance variant) or complete paths
+    # by length (basic variant); lazy deletion against records[i].alive.
+    prune_heap: list[tuple[int, int, int]] = []
+
+    def add_record(path: Path, complete: bool) -> None:
+        nonlocal live_count, max_complete_length
+        reach = path.length if complete else path.length + distance[path.sink]
+        if complete and path.length > max_complete_length:
+            max_complete_length = path.length
+        record = _Record(path=path, reach=reach, complete=complete, seq=len(records))
+        records.append(record)
+        live_count += 1
+        index = record.seq
+        if not complete:
+            if use_distances:
+                heapq.heappush(extend_heap, (-reach, index, index))
+            else:
+                extend_fifo.append(index)
+        if use_distances:
+            heapq.heappush(prune_heap, (reach, index, index))
+        elif complete:
+            heapq.heappush(prune_heap, (path.length, index, index))
+
+    def kill(record: _Record) -> None:
+        nonlocal live_count
+        if record.alive:
+            record.alive = False
+            live_count -= 1
+
+    # Protection thresholds ("never remove the longest paths"):
+    # - distance variant: the global maximum reach.  Some alive record always
+    #   attains it (extending a maximum-reach partial along its critical
+    #   successor preserves the reach), so it is a constant of the run.
+    # - basic variant: the longest *complete* length seen so far, which only
+    #   grows (maximum-length complete paths are never removed).
+    max_reach_protect = max(
+        (distance[pi] + 1 for pi in netlist.input_indices if distance[pi] >= 0),
+        default=0,
+    )
+    max_complete_length = 0
+
+    def enforce_cap() -> None:
+        """Drop the least promising faults once the cap is reached."""
+        nonlocal cap_hit, pruned_complete, pruned_partial
+        if live_count * FAULTS_PER_PATH < max_faults:
+            return
+        cap_hit = True
+        protect = max_reach_protect if use_distances else max_complete_length
+        while live_count * FAULTS_PER_PATH >= max_faults and prune_heap:
+            reach, _, index = prune_heap[0]
+            record = records[index]
+            if not record.alive:
+                heapq.heappop(prune_heap)
+                continue
+            if reach >= protect:
+                break  # only maximum-reach paths remain: keep them all
+            heapq.heappop(prune_heap)
+            kill(record)
+            if record.complete:
+                pruned_complete += 1
+            else:
+                pruned_partial += 1
+
+    # Seed: one single-node partial path per primary input that can reach
+    # an output (a PI that is also declared an output forms a 1-node path).
+    for pi in netlist.input_indices:
+        if is_output[pi]:
+            add_record(Path((pi,)), complete=True)
+        if distance[pi] > 0:
+            add_record(Path((pi,)), complete=False)
+    enforce_cap()
+
+    def next_partial() -> _Record | None:
+        if use_distances:
+            while extend_heap:
+                _, _, index = heapq.heappop(extend_heap)
+                record = records[index]
+                if record.alive and not record.complete:
+                    return record
+            return None
+        while extend_fifo:
+            index = extend_fifo.popleft()
+            record = records[index]
+            if record.alive and not record.complete:
+                return record
+        return None
+
+    while True:
+        record = next_partial()
+        if record is None:
+            break
+        expansions += 1
+        if expansions > max_expansions:
+            raise EnumerationOverflow(
+                f"exceeded {max_expansions} expansions; the basic procedure "
+                "cannot bound this circuit -- use use_distances=True"
+            )
+        kill(record)  # replaced by its extensions
+        sink = record.path.sink
+        for succ in netlist.fanout(sink):
+            if distance[succ] < 0:
+                continue  # dead region: no output reachable
+            extended = record.path.extended(succ)
+            if is_output[succ]:
+                add_record(extended, complete=True)
+            if distance[succ] > 0:
+                add_record(extended, complete=False)
+        enforce_cap()
+
+    survivors = [r.path for r in records if r.alive and r.complete]
+    survivors.sort(key=lambda p: (-p.length, p.nodes))
+    result = EnumerationResult(
+        paths=survivors,
+        cap_hit=cap_hit,
+        expansions=expansions,
+        pruned_complete=pruned_complete,
+        pruned_partial=pruned_partial,
+    )
+    if survivors:
+        result.max_kept_length = survivors[0].length
+        result.min_kept_length = survivors[-1].length
+    return result

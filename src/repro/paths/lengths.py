@@ -1,0 +1,104 @@
+"""Path-length statistics over a fault population (Table 2 of the paper).
+
+Given the enumerated fault set ``P``, the paper tabulates, for the distinct
+path lengths ``L_0 > L_1 > ...``:
+
+* ``n_p(L_i)`` -- the number of faults on paths of length exactly ``L_i``;
+* ``N_p(L_i)`` -- the cumulative count ``sum(n_p(L_j) for L_j >= L_i)``.
+
+The cumulative column drives the selection of the first target set ``P0``
+(the smallest ``i_0`` with ``N_p(L_{i_0}) >= N_P0``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..faults.fault import PathDelayFault
+from .enumerate import FAULTS_PER_PATH
+
+__all__ = ["LengthRow", "LengthTable", "length_table_for_faults", "length_table_for_paths"]
+
+
+@dataclass(frozen=True)
+class LengthRow:
+    """One row of the length table."""
+
+    index: int  # i
+    length: int  # L_i
+    faults: int  # n_p(L_i)
+    cumulative: int  # N_p(L_i)
+
+
+class LengthTable:
+    """Length histogram of a fault population, longest length first."""
+
+    def __init__(self, rows: Sequence[LengthRow]) -> None:
+        self.rows = tuple(rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index: int) -> LengthRow:
+        return self.rows[index]
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of faults covered by the table."""
+        return self.rows[-1].cumulative if self.rows else 0
+
+    def select_index(self, min_faults: int) -> int:
+        """Smallest ``i_0`` with ``N_p(L_{i_0}) >= min_faults``.
+
+        This is the paper's ``P0`` selection rule.  When even the full
+        population is smaller than ``min_faults`` the last row is selected
+        (``P0 = P``).
+        """
+        for row in self.rows:
+            if row.cumulative >= min_faults:
+                return row.index
+        return max(len(self.rows) - 1, 0)
+
+    def length_at(self, index: int) -> int:
+        """``L_i`` for a given row index."""
+        return self.rows[index].length
+
+    def format(self, max_rows: int | None = 20) -> str:
+        """Render the table in the layout of the paper's Table 2."""
+        lines = [f"{'i':>4} {'L_i':>6} {'N_p(L_i)':>10}"]
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        for row in rows:
+            lines.append(f"{row.index:>4} {row.length:>6} {row.cumulative:>10}")
+        return "\n".join(lines)
+
+
+def _table_from_counter(counts: Counter[int]) -> LengthTable:
+    rows: list[LengthRow] = []
+    cumulative = 0
+    for i, length in enumerate(sorted(counts, reverse=True)):
+        cumulative += counts[length]
+        rows.append(
+            LengthRow(index=i, length=length, faults=counts[length], cumulative=cumulative)
+        )
+    return LengthTable(rows)
+
+
+def length_table_for_faults(faults: Iterable[PathDelayFault]) -> LengthTable:
+    """Build the length table for an explicit fault population."""
+    counts: Counter[int] = Counter()
+    for fault in faults:
+        counts[fault.length] += 1
+    return _table_from_counter(counts)
+
+
+def length_table_for_paths(paths: Iterable) -> LengthTable:
+    """Build the length table for a path population (two faults per path)."""
+    counts: Counter[int] = Counter()
+    for path in paths:
+        counts[path.length] += FAULTS_PER_PATH
+    return _table_from_counter(counts)

@@ -1,0 +1,198 @@
+"""Vectorized levelized waveform-triple simulator.
+
+Simulates ``K`` two-pattern assignments at once over a compiled netlist.
+This is the workhorse behind both the test generator (which checks many
+candidate input assignments per decision) and the fault simulator (which
+simulates a whole test set in one call).
+
+Internals
+---------
+
+Values use the *ordered* ternary encoding (0 -> 0, x -> 1, 1 -> 2) so AND is
+``min`` and OR is ``max``; NOT is ``2 - v``.  The value state is an int8
+array of shape ``(3, n_nodes, K)`` -- one plane per triple position.
+
+The netlist is compiled once into per-level groups keyed by
+``(gate_type, arity)``; each group evaluates with a handful of numpy
+operations regardless of its gate count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algebra.ternary import FROM_ORD, ONE, TO_ORD, X, ZERO
+from ..algebra.triple import Triple
+from ..circuit.netlist import GateType, Netlist
+
+__all__ = ["BatchSimulator"]
+
+# Ordered-encoding constants.
+_ORD0 = 0
+_ORDX = 1
+_ORD1 = 2
+
+# XOR on the ordered encoding: x dominates, else boolean xor.
+_XOR_ORD = np.array(
+    [
+        [_ORD0, _ORDX, _ORD1],
+        [_ORDX, _ORDX, _ORDX],
+        [_ORD1, _ORDX, _ORD0],
+    ],
+    dtype=np.int8,
+)
+_XOR_ORD.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class _Group:
+    """All gates of one (type, arity) within one level."""
+
+    gate_type: GateType
+    out_idx: np.ndarray  # (n,)
+    in_idx: np.ndarray  # (n, arity)
+
+
+class BatchSimulator:
+    """Simulates batches of two-pattern assignments on one netlist.
+
+    The simulator is stateless between calls; construct once per netlist
+    and reuse (compilation walks the whole circuit).
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.n_nodes = len(netlist)
+        self.pi_index = np.array(netlist.input_indices, dtype=np.int64)
+        self._const0: list[int] = []
+        self._const1: list[int] = []
+        self._levels = self._compile()
+
+    def _compile(self) -> list[list[_Group]]:
+        netlist = self.netlist
+        by_level: dict[int, dict[tuple[GateType, int], tuple[list[int], list[list[int]]]]]
+        by_level = {}
+        for index in netlist.topo_order:
+            node = netlist.node_at(index)
+            if node.is_input:
+                continue
+            if node.gate_type is GateType.CONST0:
+                self._const0.append(index)
+                continue
+            if node.gate_type is GateType.CONST1:
+                self._const1.append(index)
+                continue
+            level = netlist.level(index)
+            fanin = list(netlist.fanin_indices(index))
+            key = (node.gate_type, len(fanin))
+            outs, ins = by_level.setdefault(level, {}).setdefault(key, ([], []))
+            outs.append(index)
+            ins.append(fanin)
+        levels: list[list[_Group]] = []
+        for level in sorted(by_level):
+            groups = []
+            for (gate_type, _arity), (outs, ins) in sorted(
+                by_level[level].items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+            ):
+                groups.append(
+                    _Group(
+                        gate_type=gate_type,
+                        out_idx=np.array(outs, dtype=np.int64),
+                        in_idx=np.array(ins, dtype=np.int64),
+                    )
+                )
+            levels.append(groups)
+        return levels
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def run_codes(self, pi_codes: np.ndarray) -> np.ndarray:
+        """Simulate from raw ternary codes.
+
+        ``pi_codes``: int8 array of shape ``(n_pis, 3, K)`` with values in
+        {ZERO, ONE, X}.  Returns ``(n_nodes, 3, K)`` codes for every node.
+        """
+        n_pis, three, k = pi_codes.shape
+        if three != 3 or n_pis != len(self.pi_index):
+            raise ValueError(
+                f"expected shape ({len(self.pi_index)}, 3, K), got {pi_codes.shape}"
+            )
+        vals = np.full((3, self.n_nodes, k), _ORDX, dtype=np.int8)
+        ord_in = TO_ORD[pi_codes]  # (n_pis, 3, K)
+        for position in range(3):
+            vals[position, self.pi_index, :] = ord_in[:, position, :]
+        for index in self._const0:
+            vals[:, index, :] = _ORD0
+        for index in self._const1:
+            vals[:, index, :] = _ORD1
+        self._propagate(vals)
+        out = FROM_ORD[vals]  # (3, n_nodes, K)
+        return np.ascontiguousarray(out.transpose(1, 0, 2))
+
+    def run_triples(self, assignments: list[dict[int, Triple]]) -> np.ndarray:
+        """Simulate a list of sparse assignments (node index -> Triple).
+
+        Unassigned primary inputs are ``xxx``.  Returns codes of shape
+        ``(n_nodes, 3, K)`` with ``K = len(assignments)``.
+        """
+        k = len(assignments)
+        pi_codes = np.full((len(self.pi_index), 3, k), X, dtype=np.int8)
+        pi_pos = {int(node): row for row, node in enumerate(self.pi_index)}
+        for column, assignment in enumerate(assignments):
+            for node, triple in assignment.items():
+                row = pi_pos.get(node)
+                if row is None:
+                    raise ValueError(
+                        f"node {node} is not a primary input of {self.netlist.name}"
+                    )
+                pi_codes[row, 0, column] = triple.v1
+                pi_codes[row, 1, column] = triple.v2
+                pi_codes[row, 2, column] = triple.v3
+        return self.run_codes(pi_codes)
+
+    def run_two_pattern(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        """Simulate fully/partially specified two-pattern tests.
+
+        ``first``/``second``: ``(n_pis, K)`` ternary codes for pattern 1 and
+        pattern 2.  The intermediate value of each input is its stable value
+        when both patterns agree on a specified value, else ``x``.
+        """
+        if first.shape != second.shape:
+            raise ValueError("pattern arrays must have identical shapes")
+        mid = np.where((first == second) & (first != X), first, X).astype(np.int8)
+        pi_codes = np.stack([first, mid, second], axis=1).astype(np.int8)
+        return self.run_codes(pi_codes)
+
+    # ------------------------------------------------------------------
+
+    def _propagate(self, vals: np.ndarray) -> None:
+        """Evaluate all levels in place on the ordered-encoding state."""
+        for groups in self._levels:
+            for group in groups:
+                gathered = vals[:, group.in_idx, :]  # (3, n, arity, K)
+                gate_type = group.gate_type
+                if gate_type is GateType.AND:
+                    result = gathered.min(axis=2)
+                elif gate_type is GateType.NAND:
+                    result = 2 - gathered.min(axis=2)
+                elif gate_type is GateType.OR:
+                    result = gathered.max(axis=2)
+                elif gate_type is GateType.NOR:
+                    result = 2 - gathered.max(axis=2)
+                elif gate_type is GateType.BUF:
+                    result = gathered[:, :, 0, :]
+                elif gate_type is GateType.NOT:
+                    result = 2 - gathered[:, :, 0, :]
+                elif gate_type in (GateType.XOR, GateType.XNOR):
+                    result = gathered[:, :, 0, :]
+                    for operand in range(1, gathered.shape[2]):
+                        result = _XOR_ORD[result, gathered[:, :, operand, :]]
+                    if gate_type is GateType.XNOR:
+                        result = 2 - result
+                else:  # pragma: no cover - compile() filters these out
+                    raise AssertionError(f"unexpected gate type {gate_type}")
+                vals[:, group.out_idx, :] = result

@@ -1,0 +1,80 @@
+"""Vectorized requirement checking against simulated values.
+
+``A(p)`` is a sparse set of required value components.  Both the fault
+simulator and the test generator repeatedly ask, for a batch of simulated
+assignments:
+
+* **covers** -- does the simulated value satisfy every required component
+  exactly?  (Detection check; an ``x`` simulated component fails a
+  specified requirement.)
+* **consistent** -- does the simulated value *contradict* any required
+  component?  (Search pruning; ``x`` may still be refined and is fine.)
+
+:class:`CompiledRequirements` flattens a requirement mapping into parallel
+``(node, position, value)`` arrays once, so each check is a single fancy
+index plus a reduction over the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..algebra.ternary import X
+from ..algebra.triple import Triple
+
+__all__ = ["CompiledRequirements"]
+
+
+class CompiledRequirements:
+    """A requirement mapping flattened for batch checking.
+
+    Parameters
+    ----------
+    requirements:
+        Mapping node index -> required :class:`Triple`; only specified
+        components are recorded.
+    """
+
+    __slots__ = ("nodes", "positions", "values", "num_components")
+
+    def __init__(self, requirements: Mapping[int, Triple]) -> None:
+        nodes: list[int] = []
+        positions: list[int] = []
+        values: list[int] = []
+        for node, triple in requirements.items():
+            for position, value in enumerate(triple.components()):
+                if value != X:
+                    nodes.append(node)
+                    positions.append(position)
+                    values.append(value)
+        self.nodes = np.array(nodes, dtype=np.int64)
+        self.positions = np.array(positions, dtype=np.int64)
+        self.values = np.array(values, dtype=np.int8)
+        self.num_components = len(nodes)
+
+    def covered_by(self, sim_codes: np.ndarray) -> np.ndarray:
+        """Boolean array over the batch: requirement fully satisfied.
+
+        ``sim_codes``: array ``(n_nodes, 3, K)`` of ternary codes.
+        """
+        if self.num_components == 0:
+            return np.ones(sim_codes.shape[2], dtype=bool)
+        observed = sim_codes[self.nodes, self.positions, :]  # (m, K)
+        return np.all(observed == self.values[:, None], axis=0)
+
+    def consistent_with(self, sim_codes: np.ndarray) -> np.ndarray:
+        """Boolean array over the batch: no component contradicted.
+
+        A contradiction is a *specified* simulated component differing from
+        the required value; ``x`` never contradicts.
+        """
+        if self.num_components == 0:
+            return np.ones(sim_codes.shape[2], dtype=bool)
+        observed = sim_codes[self.nodes, self.positions, :]
+        contradiction = (observed != X) & (observed != self.values[:, None])
+        return ~np.any(contradiction, axis=0)
+
+    def __len__(self) -> int:
+        return self.num_components

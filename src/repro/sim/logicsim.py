@@ -1,0 +1,69 @@
+"""Plain single-pattern three-valued logic simulation.
+
+Used for cross-validation: positions 1 and 3 of the waveform-triple
+simulators must behave exactly like two independent single-pattern
+simulations (the intermediate position is the only place where the
+two-pattern semantics differ).  Also handy for quick truth-table style
+exploration of a netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..algebra.ternary import (
+    AND_TABLE,
+    NOT_TABLE,
+    ONE,
+    OR_TABLE,
+    X,
+    XOR_TABLE,
+    ZERO,
+)
+from ..circuit.netlist import GateType, Netlist
+
+__all__ = ["simulate_logic"]
+
+_REDUCE = {
+    GateType.AND: (AND_TABLE, False),
+    GateType.NAND: (AND_TABLE, True),
+    GateType.OR: (OR_TABLE, False),
+    GateType.NOR: (OR_TABLE, True),
+    GateType.XOR: (XOR_TABLE, False),
+    GateType.XNOR: (XOR_TABLE, True),
+}
+
+
+def simulate_logic(netlist: Netlist, pi_values: Mapping[str, int]) -> dict[str, int]:
+    """Evaluate one input pattern; unknown inputs default to ``x``.
+
+    ``pi_values`` maps input names to ternary codes (0, 1 or
+    :data:`repro.algebra.ternary.X`).  Returns a code for every node.
+    """
+    unknown_names = set(pi_values) - set(netlist.input_names)
+    if unknown_names:
+        raise ValueError(f"not primary inputs: {sorted(unknown_names)}")
+
+    values = [X] * len(netlist)
+    for index in netlist.topo_order:
+        node = netlist.node_at(index)
+        if node.is_input:
+            values[index] = pi_values.get(node.name, X)
+        elif node.gate_type is GateType.CONST0:
+            values[index] = ZERO
+        elif node.gate_type is GateType.CONST1:
+            values[index] = ONE
+        elif node.gate_type is GateType.BUF:
+            values[index] = values[netlist.fanin_indices(index)[0]]
+        elif node.gate_type is GateType.NOT:
+            values[index] = int(NOT_TABLE[values[netlist.fanin_indices(index)[0]]])
+        else:
+            table, invert = _REDUCE[node.gate_type]
+            fanin = netlist.fanin_indices(index)
+            acc = values[fanin[0]]
+            for operand in fanin[1:]:
+                acc = int(table[acc, values[operand]])
+            if invert:
+                acc = int(NOT_TABLE[acc])
+            values[index] = acc
+    return {netlist.node_at(i).name: values[i] for i in range(len(netlist))}

@@ -1,0 +1,78 @@
+"""Reference waveform-triple simulator (scalar, dictionary based).
+
+Straightforward topological evaluation of a netlist over the triple domain:
+each line's triple is computed componentwise with the ternary gate tables.
+This simulator is the executable specification -- the vectorized
+:mod:`repro.sim.batch` simulator is property-tested against it -- and is
+convenient for small examples and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..algebra.ternary import (
+    AND_TABLE,
+    NOT_TABLE,
+    ONE,
+    OR_TABLE,
+    XOR_TABLE,
+    ZERO,
+)
+from ..algebra.triple import Triple, UNKNOWN
+from ..circuit.netlist import GateType, Netlist
+
+__all__ = ["simulate_triples"]
+
+_REDUCE = {
+    GateType.AND: (AND_TABLE, False),
+    GateType.NAND: (AND_TABLE, True),
+    GateType.OR: (OR_TABLE, False),
+    GateType.NOR: (OR_TABLE, True),
+    GateType.XOR: (XOR_TABLE, False),
+    GateType.XNOR: (XOR_TABLE, True),
+}
+
+
+def simulate_triples(
+    netlist: Netlist, pi_values: Mapping[str, Triple]
+) -> dict[str, Triple]:
+    """Simulate a two-pattern assignment, returning a triple per node.
+
+    ``pi_values`` maps primary-input names to triples; unassigned inputs
+    default to ``xxx``.  The result maps *every* node name to its triple.
+    """
+    unknown_names = set(pi_values) - set(netlist.input_names)
+    if unknown_names:
+        raise ValueError(f"not primary inputs: {sorted(unknown_names)}")
+
+    values: list[Triple] = [UNKNOWN] * len(netlist)
+    for index in netlist.topo_order:
+        node = netlist.node_at(index)
+        if node.is_input:
+            values[index] = pi_values.get(node.name, UNKNOWN)
+            continue
+        if node.gate_type is GateType.CONST0:
+            values[index] = Triple.stable(ZERO)
+            continue
+        if node.gate_type is GateType.CONST1:
+            values[index] = Triple.stable(ONE)
+            continue
+        fanin = [values[i] for i in netlist.fanin_indices(index)]
+        if node.gate_type is GateType.BUF:
+            values[index] = fanin[0]
+            continue
+        if node.gate_type is GateType.NOT:
+            values[index] = fanin[0].inverted()
+            continue
+        table, invert = _REDUCE[node.gate_type]
+        components = []
+        for position in range(3):
+            acc = fanin[0].components()[position]
+            for operand in fanin[1:]:
+                acc = int(table[acc, operand.components()[position]])
+            if invert:
+                acc = int(NOT_TABLE[acc])
+            components.append(acc)
+        values[index] = Triple.of(*components)
+    return {netlist.node_at(i).name: values[i] for i in range(len(netlist))}

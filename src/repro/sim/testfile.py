@@ -1,0 +1,102 @@
+"""Reading and writing two-pattern test sets as text files.
+
+The on-disk format is deliberately simple and diff-friendly -- one test
+per line, the two patterns over the primary inputs in declaration order,
+separated by ``->``::
+
+    # circuit: s27
+    # inputs: G0 G1 G2 G3 G5 G6 G7
+    1101011 -> 0111010
+    0011011 -> 1001011
+
+``x`` is legal in patterns (partially specified tests).  The header
+records the input order so a file can be validated against the circuit it
+is later applied to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from ..algebra.ternary import X, value_from_char
+from ..algebra.triple import Triple
+from ..circuit.netlist import Netlist
+from .vectors import TwoPatternTest
+
+__all__ = ["dump_tests", "dumps_tests", "load_tests", "loads_tests", "TestFileError"]
+
+
+class TestFileError(ValueError):
+    """Raised on malformed test files or circuit mismatches."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+
+def dumps_tests(netlist: Netlist, tests: Sequence[TwoPatternTest]) -> str:
+    """Serialize tests for ``netlist`` to the text format."""
+    lines = [
+        f"# circuit: {netlist.name}",
+        f"# inputs: {' '.join(netlist.input_names)}",
+    ]
+    for test in tests:
+        first, second = test.patterns(netlist)
+        lines.append(f"{first} -> {second}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_tests(
+    path: str | Path, netlist: Netlist, tests: Sequence[TwoPatternTest]
+) -> None:
+    """Write tests to ``path``."""
+    Path(path).write_text(dumps_tests(netlist, tests))
+
+
+def loads_tests(text: str, netlist: Netlist) -> list[TwoPatternTest]:
+    """Parse tests, validating the input order against ``netlist``."""
+    tests: list[TwoPatternTest] = []
+    expected_inputs = list(netlist.input_names)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("inputs:"):
+                declared = body.split(":", 1)[1].split()
+                if declared != expected_inputs:
+                    raise TestFileError(
+                        f"line {line_no}: input order mismatch "
+                        f"(file has {len(declared)} inputs, circuit has "
+                        f"{len(expected_inputs)})"
+                    )
+            continue
+        if "->" not in line:
+            raise TestFileError(f"line {line_no}: missing '->' separator")
+        first_text, second_text = (part.strip() for part in line.split("->", 1))
+        if len(first_text) != len(expected_inputs) or len(second_text) != len(
+            expected_inputs
+        ):
+            raise TestFileError(
+                f"line {line_no}: pattern width {len(first_text)}/"
+                f"{len(second_text)} does not match "
+                f"{len(expected_inputs)} inputs"
+            )
+        assignment = {}
+        for pi, first_char, second_char in zip(
+            netlist.input_indices, first_text, second_text
+        ):
+            try:
+                v1 = value_from_char(first_char)
+                v3 = value_from_char(second_char)
+            except ValueError as exc:
+                raise TestFileError(f"line {line_no}: {exc}") from None
+            mid = v1 if (v1 == v3 and v1 != X) else X
+            assignment[pi] = Triple.of(v1, mid, v3)
+        tests.append(TwoPatternTest(assignment))
+    return tests
+
+
+def load_tests(path: str | Path, netlist: Netlist) -> list[TwoPatternTest]:
+    """Read tests from ``path``."""
+    return loads_tests(Path(path).read_text(), netlist)

@@ -1,0 +1,89 @@
+"""Two-pattern test vectors.
+
+A :class:`TwoPatternTest` assigns a waveform triple to every primary input
+of a circuit.  Tests produced by the generator are fully specified (the
+simulation-based justification procedure always drives every input to a
+stable value or a transition); partially specified tests are legal for
+analysis purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..algebra.ternary import X
+from ..algebra.triple import Triple, UNKNOWN
+from ..circuit.netlist import Netlist
+
+__all__ = ["TwoPatternTest"]
+
+
+class TwoPatternTest:
+    """An immutable two-pattern test: primary-input index -> triple."""
+
+    __slots__ = ("assignment",)
+
+    def __init__(self, assignment: Mapping[int, Triple]) -> None:
+        object.__setattr__(self, "assignment", dict(assignment))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TwoPatternTest is immutable")
+
+    @classmethod
+    def from_names(cls, netlist: Netlist, values: Mapping[str, str | Triple]) -> "TwoPatternTest":
+        """Build a test from input names and triple strings (``"0x1"``)."""
+        assignment: dict[int, Triple] = {}
+        for name, value in values.items():
+            triple = value if isinstance(value, Triple) else Triple.parse(value)
+            index = netlist.index_of(name)
+            if not netlist.node_at(index).is_input:
+                raise ValueError(f"{name!r} is not a primary input")
+            assignment[index] = triple
+        return cls(assignment)
+
+    def triple_for(self, pi_index: int) -> Triple:
+        """Triple assigned to one primary input (``xxx`` if unassigned)."""
+        return self.assignment.get(pi_index, UNKNOWN)
+
+    def is_fully_specified(self, netlist: Netlist) -> bool:
+        """True when every primary input has specified first/final values.
+
+        The intermediate position of a transitioning input is inherently
+        ``x``, so only positions 1 and 3 are checked.
+        """
+        for pi in netlist.input_indices:
+            triple = self.triple_for(pi)
+            if triple.v1 == X or triple.v3 == X:
+                return False
+        return True
+
+    def patterns(self, netlist: Netlist) -> tuple[str, str]:
+        """Render the two patterns as bit strings over the inputs in order."""
+        first = []
+        second = []
+        for pi in netlist.input_indices:
+            triple = self.triple_for(pi)
+            first.append("01x"[triple.v1])
+            second.append("01x"[triple.v3])
+        return "".join(first), "".join(second)
+
+    def format(self, netlist: Netlist) -> str:
+        """Human-readable rendering, e.g. ``<v1=0101..., v2=1101...>``."""
+        first, second = self.patterns(netlist)
+        return f"<{first} -> {second}>"
+
+    def __iter__(self) -> Iterator[tuple[int, Triple]]:
+        return iter(self.assignment.items())
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TwoPatternTest) and self.assignment == other.assignment
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, v.code) for k, v in self.assignment.items())))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}:{v}" for k, v in sorted(self.assignment.items()))
+        return f"TwoPatternTest({{{parts}}})"

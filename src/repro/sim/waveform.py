@@ -1,0 +1,87 @@
+"""ASCII waveform rendering of two-pattern tests.
+
+Debugging aid: render the waveform triple of selected lines under a test
+as a three-column timing diagram, e.g.::
+
+    G1   0 _/~ 1    (0x1: rising)
+    G2   0 ___ 0    (000: steady low)
+    G7   1 ~~~ 1    (111: steady high)
+    G9   x ??? 0    (xx0)
+
+Used by examples and by failing-test diagnostics; has no effect on the
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..algebra.ternary import ONE, X, ZERO
+from ..algebra.triple import Triple
+from ..circuit.netlist import Netlist
+from .batch import BatchSimulator
+from .vectors import TwoPatternTest
+
+__all__ = ["render_waveforms", "render_test"]
+
+_EDGE = {
+    (ZERO, ZERO): "___",
+    (ONE, ONE): "~~~",
+    (ZERO, ONE): "_/~",
+    (ONE, ZERO): "~\\_",
+}
+
+
+def _shape(triple: Triple) -> str:
+    if triple.v1 in (ZERO, ONE) and triple.v3 in (ZERO, ONE):
+        if triple.v2 == X and triple.v1 == triple.v3:
+            return "_?_" if triple.v1 == ZERO else "~?~"  # possible glitch
+        return _EDGE[(triple.v1, triple.v3)]
+    return "???"
+
+
+def _char(value: int) -> str:
+    return "01x"[value]
+
+
+def render_waveforms(
+    netlist: Netlist,
+    values: Mapping[str, Triple],
+    lines: Sequence[str] | None = None,
+) -> str:
+    """Render the waveform of each named line (default: all, topological)."""
+    if lines is None:
+        lines = [netlist.node_at(i).name for i in netlist.topo_order]
+    width = max((len(name) for name in lines), default=1)
+    rows = []
+    for name in lines:
+        triple = values[name]
+        rows.append(
+            f"{name:<{width}}  {_char(triple.v1)} {_shape(triple)} "
+            f"{_char(triple.v3)}   ({triple})"
+        )
+    return "\n".join(rows)
+
+
+def render_test(
+    netlist: Netlist,
+    test: TwoPatternTest,
+    lines: Iterable[str] | None = None,
+    simulator: BatchSimulator | None = None,
+) -> str:
+    """Simulate ``test`` and render the waveforms of ``lines``.
+
+    ``lines`` defaults to the primary inputs followed by the primary
+    outputs.
+    """
+    simulator = simulator or BatchSimulator(netlist)
+    sim = simulator.run_triples([test.assignment])
+    values = {
+        netlist.node_at(i).name: Triple.of(*(int(v) for v in sim[i, :, 0]))
+        for i in range(len(netlist))
+    }
+    if lines is None:
+        lines = list(netlist.input_names) + [
+            name for name in netlist.output_names if name not in netlist.input_names
+        ]
+    return render_waveforms(netlist, values, list(lines))

@@ -1,0 +1,85 @@
+"""Tests for the branch-and-bound justifier."""
+
+import pytest
+
+from repro.algebra import Triple
+from repro.atpg import (
+    BranchAndBoundJustifier,
+    RequirementSet,
+    SearchExhausted,
+)
+from repro.circuit import GateType, build_netlist
+from repro.faults import build_target_sets
+from repro.sim import CompiledRequirements
+
+
+class TestCompleteness:
+    def test_finds_test_where_randomized_engine_might_not(self, c17):
+        bnb = BranchAndBoundJustifier(c17)
+        requirements = RequirementSet({c17.index_of("N22"): Triple.parse("0x1")})
+        test = bnb.justify(requirements)
+        assert test is not None
+        assert test.is_fully_specified(c17)
+
+    def test_result_actually_covers(self, s27):
+        from repro.sim import BatchSimulator
+
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        bnb = BranchAndBoundJustifier(s27)
+        simulator = BatchSimulator(s27)
+        found = 0
+        for record in targets.p0[:10]:
+            requirements = RequirementSet(record.sens.requirements)
+            test = bnb.justify(requirements)
+            if test is None:
+                continue
+            found += 1
+            sim = simulator.run_triples([test.assignment])
+            assert CompiledRequirements(record.sens.requirements).covered_by(sim)[0]
+        assert found > 0
+
+    def test_proves_unsat(self):
+        netlist = build_netlist(
+            "unsat",
+            inputs=["a"],
+            gates=[
+                ("g1", GateType.NOT, ["a"]),
+                ("g2", GateType.AND, ["a", "g1"]),
+            ],
+            outputs=["g2"],
+        )
+        bnb = BranchAndBoundJustifier(netlist)
+        requirements = RequirementSet(
+            {netlist.index_of("g2"): Triple.parse("111")}
+        )
+        assert bnb.justify(requirements) is None
+        assert not bnb.is_satisfiable(requirements)
+
+    def test_deterministic(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        requirements = RequirementSet(targets.p0[0].sens.requirements)
+        bnb = BranchAndBoundJustifier(s27)
+        assert bnb.justify(requirements) == bnb.justify(requirements)
+
+    def test_node_limit(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        requirements = RequirementSet(targets.p0[0].sens.requirements)
+        bnb = BranchAndBoundJustifier(s27)
+        with pytest.raises(SearchExhausted):
+            bnb.justify(requirements, node_limit=1)
+
+    def test_agrees_with_randomized_engine_on_success(self, s27):
+        """Whenever the randomized engine finds a test, BnB must too (it is
+        complete); the converse may fail."""
+        import random
+
+        from repro.atpg import Justifier
+
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        justifier = Justifier(s27)
+        bnb = BranchAndBoundJustifier(s27)
+        rng = random.Random(3)
+        for record in targets.p0[:12]:
+            requirements = RequirementSet(record.sens.requirements)
+            if justifier.justify(requirements, rng) is not None:
+                assert bnb.is_satisfiable(requirements, node_limit=100_000)

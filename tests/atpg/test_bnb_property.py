@@ -1,0 +1,64 @@
+"""Property test: branch-and-bound completeness on satisfiable instances.
+
+Requirement sets sampled from the *simulation of a real test* are
+satisfiable by construction (that test satisfies them).  The complete
+branch-and-bound justifier must therefore always succeed on them -- any
+failure is a soundness bug in the search, the simulator, or the covering
+check.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Triple, X
+from repro.atpg import BranchAndBoundJustifier, RequirementSet
+from repro.circuit.synth import SynthProfile, generate
+from repro.sim import BatchSimulator
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_bnb_finds_test_for_witnessed_requirements(data):
+    seed = data.draw(st.integers(0, 10_000), label="circuit seed")
+    netlist = generate(
+        SynthProfile(
+            name="prop", seed=seed, n_inputs=6, n_gates=18, style="mesh", window=6.0
+        )
+    )
+    rng = random.Random(seed + 1)
+
+    # A random fully specified two-pattern test is the witness.
+    assignment = {
+        pi: Triple.transition(rng.randint(0, 1), rng.randint(0, 1))
+        for pi in netlist.input_indices
+    }
+    simulator = BatchSimulator(netlist)
+    sim = simulator.run_triples([assignment])
+
+    # Sample requirements from the witnessed node values (only specified
+    # components; x components are left as don't-cares).
+    node_count = len(netlist)
+    picks = data.draw(
+        st.lists(
+            st.integers(0, node_count - 1), min_size=1, max_size=6, unique=True
+        ),
+        label="required nodes",
+    )
+    requirements = {}
+    for node in picks:
+        components = tuple(int(v) for v in sim[node, :, 0])
+        masked = tuple(
+            value if data.draw(st.booleans()) else X for value in components
+        )
+        requirements[node] = Triple.of(*masked)
+
+    witnessed = RequirementSet(requirements)
+    bnb = BranchAndBoundJustifier(netlist, simulator)
+    found = bnb.justify(witnessed, node_limit=200_000)
+    assert found is not None
+
+    # And the found test really covers the requirements.
+    check = simulator.run_triples([found.assignment])
+    assert witnessed.compiled().covered_by(check)[0]

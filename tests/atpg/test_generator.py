@@ -1,0 +1,132 @@
+"""Tests for the dynamic-compaction test generator (Section 2)."""
+
+import pytest
+
+from repro.atpg import AtpgConfig, generate_basic
+from repro.faults import build_target_sets
+from repro.sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_targets(s27):
+    return build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+
+
+@pytest.fixture(scope="module")
+def results_by_heuristic(s27, s27_targets):
+    out = {}
+    for heuristic in ("uncomp", "arbit", "length", "values"):
+        out[heuristic] = generate_basic(
+            s27, s27_targets.p0, AtpgConfig(heuristic=heuristic, seed=11)
+        )
+    return out
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("heuristic", ["uncomp", "arbit", "length", "values"])
+    def test_targeted_faults_are_detected(self, heuristic, results_by_heuristic):
+        result = results_by_heuristic[heuristic]
+        for generated in result.tests:
+            targeted = {r.fault.key() for r in generated.targeted}
+            detected = {r.fault.key() for r in generated.detected}
+            assert targeted <= detected
+
+    @pytest.mark.parametrize("heuristic", ["uncomp", "arbit", "length", "values"])
+    def test_detection_claims_verified_by_independent_faultsim(
+        self, s27, s27_targets, heuristic, results_by_heuristic
+    ):
+        result = results_by_heuristic[heuristic]
+        simulator = FaultSimulator(s27, s27_targets.p0)
+        detected, total = simulator.coverage(result.test_vectors)
+        assert detected == result.detected_by_pool[0]
+        assert total == len(s27_targets.p0)
+
+    @pytest.mark.parametrize("heuristic", ["uncomp", "arbit", "length", "values"])
+    def test_each_fault_detected_once(self, heuristic, results_by_heuristic):
+        """Fault dropping: a fault appears in at most one test's detected
+        list (it is removed from the pool afterwards)."""
+        result = results_by_heuristic[heuristic]
+        seen = set()
+        for generated in result.tests:
+            for record in generated.detected:
+                key = record.fault.key()
+                assert key not in seen
+                seen.add(key)
+
+    @pytest.mark.parametrize("heuristic", ["uncomp", "arbit", "length", "values"])
+    def test_counts_consistent(self, heuristic, results_by_heuristic):
+        result = results_by_heuristic[heuristic]
+        total_detected = sum(len(t.detected) for t in result.tests)
+        assert total_detected == result.detected_by_pool[0]
+
+    def test_uncomp_has_single_target_per_test(self, results_by_heuristic):
+        for generated in results_by_heuristic["uncomp"].tests:
+            assert generated.num_targeted == 1
+
+    def test_compaction_reduces_or_matches_uncomp(self, results_by_heuristic):
+        uncomp_tests = results_by_heuristic["uncomp"].num_tests
+        for heuristic in ("arbit", "length", "values"):
+            assert results_by_heuristic[heuristic].num_tests <= uncomp_tests
+
+    def test_tests_fully_specified(self, s27, results_by_heuristic):
+        for result in results_by_heuristic.values():
+            for generated in result.tests:
+                assert generated.test.is_fully_specified(s27)
+
+    def test_detects_most_of_p0_on_s27(self, s27_targets, results_by_heuristic):
+        # s27's longest-path faults are nearly all robustly testable.
+        for result in results_by_heuristic.values():
+            assert result.detected_by_pool[0] >= 0.8 * len(s27_targets.p0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, s27, s27_targets):
+        a = generate_basic(s27, s27_targets.p0, AtpgConfig(heuristic="values", seed=5))
+        b = generate_basic(s27, s27_targets.p0, AtpgConfig(heuristic="values", seed=5))
+        assert a.num_tests == b.num_tests
+        assert [t.test for t in a.tests] == [t.test for t in b.tests]
+
+    def test_length_order_primary_selection(self, s27, s27_targets):
+        result = generate_basic(
+            s27, s27_targets.p0, AtpgConfig(heuristic="length", seed=5)
+        )
+        # The first test's primary must be a longest-path fault.
+        longest = max(r.length for r in s27_targets.p0)
+        assert result.tests[0].primary.length == longest
+
+
+class TestConfig:
+    def test_invalid_heuristic(self):
+        with pytest.raises(ValueError):
+            AtpgConfig(heuristic="fancy")
+
+    def test_invalid_retries(self):
+        with pytest.raises(ValueError):
+            AtpgConfig(retry_primaries=0)
+
+    def test_secondary_budget_respected(self, s27, s27_targets):
+        result = generate_basic(
+            s27,
+            s27_targets.p0,
+            AtpgConfig(heuristic="values", seed=5, max_secondary_attempts=1),
+        )
+        assert result.secondary_attempts <= result.num_tests
+
+    def test_retry_primaries_never_hurts(self, tiny_chain):
+        targets = build_target_sets(tiny_chain, max_faults=200, p0_min_faults=40)
+        single = generate_basic(
+            tiny_chain, targets.p0, AtpgConfig(heuristic="uncomp", seed=2)
+        )
+        retried = generate_basic(
+            tiny_chain,
+            targets.p0,
+            AtpgConfig(heuristic="uncomp", seed=2, retry_primaries=4),
+        )
+        assert retried.detected_by_pool[0] >= single.detected_by_pool[0]
+
+    def test_summary_format(self, s27, s27_targets):
+        result = generate_basic(
+            s27, s27_targets.p0, AtpgConfig(heuristic="values", seed=5)
+        )
+        text = result.summary()
+        assert "s27" in text and "values" in text and "tests" in text

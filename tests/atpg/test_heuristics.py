@@ -1,0 +1,41 @@
+"""Tests for fault-ordering heuristics."""
+
+import pytest
+
+from repro.atpg import longest_first, order_pool
+from repro.faults import build_target_sets
+
+
+@pytest.fixture(scope="module")
+def records(s27):
+    return build_target_sets(s27, max_faults=1000, p0_min_faults=20).all_records
+
+
+class TestOrdering:
+    def test_longest_first_sorted(self, records):
+        ordered = longest_first(records)
+        lengths = [record.length for record in ordered]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_longest_first_deterministic(self, records):
+        import random
+
+        shuffled = list(records)
+        random.Random(1).shuffle(shuffled)
+        assert longest_first(shuffled) == longest_first(records)
+
+    def test_order_pool_arbit_preserves_input_order(self, records):
+        assert order_pool(records, "arbit") == list(records)
+        assert order_pool(records, "uncomp") == list(records)
+
+    def test_order_pool_length_variants(self, records):
+        assert order_pool(records, "length") == longest_first(records)
+        assert order_pool(records, "values") == longest_first(records)
+
+    def test_order_pool_rejects_unknown(self, records):
+        with pytest.raises(ValueError):
+            order_pool(records, "sorted-by-vibes")
+
+    def test_order_pool_copies(self, records):
+        ordered = order_pool(records, "arbit")
+        assert ordered is not records

@@ -1,0 +1,94 @@
+"""Tests for static test-set compaction."""
+
+import random
+
+import pytest
+
+from repro.algebra import Triple
+from repro.atpg import AtpgConfig, compact_tests, generate_basic
+from repro.faults import build_target_sets
+from repro.sim import FaultSimulator, TwoPatternTest
+
+
+@pytest.fixture(scope="module")
+def setup(s27):
+    targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+    rng = random.Random(0)
+    # A deliberately redundant test set: random tests plus duplicates.
+    tests = []
+    for _ in range(40):
+        tests.append(
+            TwoPatternTest(
+                {
+                    pi: Triple.transition(rng.randint(0, 1), rng.randint(0, 1))
+                    for pi in s27.input_indices
+                }
+            )
+        )
+    tests.extend(tests[:10])  # exact duplicates are always redundant
+    return s27, targets, tests
+
+
+class TestCompaction:
+    @pytest.mark.parametrize("order", ["reverse", "greedy"])
+    def test_coverage_preserved(self, setup, order):
+        netlist, targets, tests = setup
+        simulator = FaultSimulator(netlist, targets.all_records)
+        before, _ = simulator.coverage(tests)
+        result = compact_tests(
+            netlist, targets.all_records, tests, order=order, simulator=simulator
+        )
+        after, _ = simulator.coverage(result.tests)
+        assert after == before == result.detected
+        assert result.num_tests + result.dropped == len(tests)
+
+    @pytest.mark.parametrize("order", ["reverse", "greedy"])
+    def test_duplicates_removed(self, setup, order):
+        netlist, targets, tests = setup
+        result = compact_tests(netlist, targets.all_records, tests, order=order)
+        assert result.dropped >= 10  # at least the exact duplicates
+
+    def test_greedy_not_worse_than_reverse(self, setup):
+        netlist, targets, tests = setup
+        reverse = compact_tests(netlist, targets.all_records, tests, order="reverse")
+        greedy = compact_tests(netlist, targets.all_records, tests, order="greedy")
+        assert greedy.num_tests <= reverse.num_tests + 2
+
+    def test_no_redundant_test_remains(self, setup):
+        netlist, targets, tests = setup
+        simulator = FaultSimulator(netlist, targets.all_records)
+        result = compact_tests(
+            netlist, targets.all_records, tests, simulator=simulator
+        )
+        matrix = simulator.detection_matrix(result.tests)
+        for column in range(matrix.shape[1]):
+            others = [c for c in range(matrix.shape[1]) if c != column]
+            if others:
+                union = matrix[:, others].any(axis=1)
+                assert (matrix[:, column] & ~union).any(), column
+
+    def test_empty_input(self, s27, setup):
+        _, targets, _ = setup
+        result = compact_tests(s27, targets.all_records, [])
+        assert result.tests == []
+        assert result.dropped == 0
+
+    def test_kept_indices_are_input_positions(self, setup):
+        netlist, targets, tests = setup
+        result = compact_tests(netlist, targets.all_records, tests)
+        assert all(tests[i] == test for i, test in zip(result.kept_indices, result.tests))
+
+    def test_invalid_order(self, setup):
+        netlist, targets, tests = setup
+        with pytest.raises(ValueError):
+            compact_tests(netlist, targets.all_records, tests, order="random")
+
+    def test_dynamic_output_already_tight(self, s27):
+        """Tests from the dynamic-compaction generator with fault dropping
+        should be (nearly) free of statically redundant tests."""
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        run = generate_basic(
+            s27, targets.p0, AtpgConfig(heuristic="values", seed=2)
+        )
+        result = compact_tests(s27, targets.p0, run.test_vectors)
+        assert result.dropped <= max(2, run.num_tests // 10)

@@ -1,0 +1,141 @@
+"""Tests for the .bench parser/writer and combinational extraction."""
+
+import pytest
+
+from repro.circuit import (
+    BenchParseError,
+    GateType,
+    parse_bench,
+    write_bench,
+)
+from repro.circuit.library import load_bench_resource
+
+
+class TestParse:
+    def test_simple_combinational(self):
+        netlist, info = parse_bench(
+            """
+            INPUT(a)
+            INPUT(b)
+            OUTPUT(y)
+            y = NAND(a, b)
+            """
+        )
+        assert netlist.input_names == ("a", "b")
+        assert netlist.output_names == ("y",)
+        assert netlist.node("y").gate_type is GateType.NAND
+        assert info.num_dffs == 0
+
+    def test_comments_and_blank_lines(self):
+        netlist, _ = parse_bench(
+            """
+            # a comment
+            INPUT(a)   # trailing comment
+
+            OUTPUT(y)
+            y = NOT(a)
+            """
+        )
+        assert len(netlist) == 2
+
+    def test_gate_aliases(self):
+        netlist, _ = parse_bench(
+            """
+            INPUT(a)
+            OUTPUT(y)
+            n = INV(a)
+            y = BUFF(n)
+            """
+        )
+        assert netlist.node("n").gate_type is GateType.NOT
+        assert netlist.node("y").gate_type is GateType.BUF
+
+    def test_case_insensitive_keywords(self):
+        netlist, _ = parse_bench("input(a)\noutput(y)\ny = not(a)\n")
+        assert netlist.input_names == ("a",)
+
+    def test_dff_extraction(self):
+        netlist, info = parse_bench(
+            """
+            INPUT(a)
+            OUTPUT(y)
+            q = DFF(d)
+            d = AND(a, q)
+            y = NOT(q)
+            """
+        )
+        # q becomes a pseudo input; d becomes a pseudo output.
+        assert "q" in netlist.input_names
+        assert "d" in netlist.output_names
+        assert info.pseudo_inputs == ["q"]
+        assert info.pseudo_outputs == ["d"]
+        assert info.dff_map == {"q": "d"}
+
+    def test_s27_shape(self):
+        netlist, info = load_bench_resource("s27")
+        # 4 real + 3 pseudo inputs; 1 real + 3 pseudo outputs.
+        assert len(netlist.input_names) == 7
+        assert len(netlist.output_names) == 4
+        assert info.num_dffs == 3
+        assert netlist.num_gates == 10
+
+    def test_c17_shape(self):
+        netlist, info = load_bench_resource("c17")
+        assert len(netlist.input_names) == 5
+        assert len(netlist.output_names) == 2
+        assert netlist.num_gates == 6
+        assert all(
+            node.gate_type is GateType.NAND
+            for node in netlist.nodes
+            if not node.is_input
+        )
+
+    def test_const_cells(self):
+        netlist, _ = parse_bench(
+            """
+            INPUT(a)
+            OUTPUT(y)
+            one = VDD()
+            y = AND(a, one)
+            """
+        )
+        assert netlist.node("one").gate_type is GateType.CONST1
+
+
+class TestParseErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(BenchParseError, match="unknown gate"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_dff_arity(self):
+        with pytest.raises(BenchParseError, match="DFF"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\nq = DFF(a, a)\ny = NOT(q)\n")
+
+    def test_structural_error_wrapped(self):
+        with pytest.raises(BenchParseError, match="invalid circuit structure"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n")
+
+    def test_empty_gate_args(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND()\n")
+
+
+class TestWriter:
+    def test_roundtrip_combinational(self, s27):
+        text = write_bench(s27)
+        reparsed, info = parse_bench(text, name="s27rt")
+        assert info.num_dffs == 0
+        assert reparsed.input_names == s27.input_names
+        assert reparsed.output_names == s27.output_names
+        assert len(reparsed) == len(s27)
+        for node in s27.nodes:
+            other = reparsed.node(node.name)
+            assert other.gate_type is node.gate_type
+            assert other.fanin == node.fanin
+
+    def test_writer_includes_name_comment(self, c17):
+        assert write_bench(c17).startswith("# c17")

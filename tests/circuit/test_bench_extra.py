@@ -1,0 +1,77 @@
+"""Additional .bench parser edge cases."""
+
+import pytest
+
+from repro.circuit import BenchParseError, parse_bench
+
+
+class TestNamesAndFormats:
+    def test_bracketed_and_dotted_names(self):
+        netlist, _ = parse_bench(
+            """
+            INPUT(top.u1.a[0])
+            INPUT(top.u1.a[1])
+            OUTPUT(y$net)
+            y$net = AND(top.u1.a[0], top.u1.a[1])
+            """
+        )
+        assert "top.u1.a[0]" in netlist.input_names
+        assert netlist.output_names == ("y$net",)
+
+    def test_whitespace_tolerance(self):
+        netlist, _ = parse_bench(
+            "  INPUT( a )\nOUTPUT( y )\n y   =   NAND( a ,  a )\n".replace(
+                "( a )", "(a)"
+            ).replace("( y )", "(y)")
+        )
+        assert netlist.node("y").fanin == ("a", "a")
+
+    def test_duplicate_output_declaration_tolerated_between_real_and_pseudo(self):
+        # A DFF data net that is also a declared primary output must not be
+        # emitted as an output twice.
+        netlist, info = parse_bench(
+            """
+            INPUT(a)
+            OUTPUT(d)
+            q = DFF(d)
+            d = AND(a, q)
+            """
+        )
+        assert netlist.output_names.count("d") == 1
+        assert info.pseudo_outputs == ["d"]
+
+    def test_multiple_dffs_share_data_net(self):
+        netlist, info = parse_bench(
+            """
+            INPUT(a)
+            OUTPUT(y)
+            q0 = DFF(d)
+            q1 = DFF(d)
+            d = AND(a, q0)
+            y = OR(q1, a)
+            """
+        )
+        assert info.num_dffs == 2
+        assert netlist.output_names.count("d") == 1
+
+    def test_fanin_arity_above_three(self):
+        netlist, _ = parse_bench(
+            """
+            INPUT(a)
+            INPUT(b)
+            INPUT(c)
+            INPUT(d)
+            INPUT(e)
+            OUTPUT(y)
+            y = NOR(a, b, c, d, e)
+            """
+        )
+        assert len(netlist.node("y").fanin) == 5
+
+    def test_error_reports_line_numbers(self):
+        try:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = ???\n")
+        except BenchParseError as exc:
+            assert exc.line_no == 3 or "line 3" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected BenchParseError")

@@ -1,0 +1,57 @@
+"""Tests for the circuit registry."""
+
+import pytest
+
+from repro.circuit import available_circuits, load_circuit
+from repro.circuit.library import PROXY_PROFILES, load_bench_resource
+
+
+class TestRegistry:
+    def test_real_circuits_listed(self):
+        names = available_circuits()
+        assert "s27" in names and "c17" in names
+
+    def test_paper_proxies_listed(self):
+        names = set(available_circuits())
+        for paper_circuit in (
+            "s641",
+            "s953",
+            "s1196",
+            "s1423",
+            "s1488",
+            "b03",
+            "b04",
+            "b09",
+            "s1423r",
+            "s5378r",
+            "s9234r",
+        ):
+            assert f"{paper_circuit}_proxy" in names, paper_circuit
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError, match="unknown circuit"):
+            load_circuit("s99999")
+
+    def test_unknown_bench_resource(self):
+        with pytest.raises(KeyError):
+            load_bench_resource("s1423")
+
+    def test_profiles_use_chain_style(self):
+        for name, profile in PROXY_PROFILES.items():
+            if name.startswith("mesh"):
+                assert profile.style == "mesh"
+            else:
+                assert profile.style == "chain", name
+
+    def test_profile_names_match_keys(self):
+        for name, profile in PROXY_PROFILES.items():
+            assert profile.name == name
+
+    def test_loaded_circuits_are_frozen_and_named(self):
+        netlist = load_circuit("b09_proxy")
+        assert netlist.frozen
+        assert netlist.name == "b09_proxy"
+
+    def test_seeds_are_distinct(self):
+        seeds = [profile.seed for profile in PROXY_PROFILES.values()]
+        assert len(seeds) == len(set(seeds))

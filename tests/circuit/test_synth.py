@@ -1,0 +1,114 @@
+"""Tests for the synthetic circuit generator."""
+
+import pytest
+
+from repro.circuit import analyze, assert_valid, count_paths
+from repro.circuit.synth import SynthProfile, generate
+
+
+class TestProfileValidation:
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            SynthProfile(name="x", seed=1, n_inputs=1, n_gates=5)
+
+    def test_mesh_needs_gates(self):
+        with pytest.raises(ValueError):
+            SynthProfile(name="x", seed=1, n_inputs=4, n_gates=0, style="mesh")
+
+    def test_chain_needs_rails_and_depth(self):
+        with pytest.raises(ValueError):
+            SynthProfile(name="x", seed=1, n_inputs=4, style="chain", rails=1)
+        with pytest.raises(ValueError):
+            SynthProfile(name="x", seed=1, n_inputs=4, style="chain", depth=1)
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            SynthProfile(name="x", seed=1, n_inputs=4, n_gates=5, style="weird")
+
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            SynthProfile(name="x", seed=1, n_inputs=4, n_gates=5, window=0.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("style", ["mesh", "chain"])
+    def test_same_profile_same_circuit(self, style):
+        kwargs = dict(name="d", seed=123, n_inputs=8, n_gates=40, style=style)
+        first = generate(SynthProfile(**kwargs))
+        second = generate(SynthProfile(**kwargs))
+        assert len(first) == len(second)
+        for a, b in zip(first.nodes, second.nodes):
+            assert a.name == b.name
+            assert a.gate_type is b.gate_type
+            assert a.fanin == b.fanin
+        assert first.output_names == second.output_names
+
+    def test_different_seed_different_circuit(self):
+        base = dict(name="d", n_inputs=8, n_gates=40)
+        first = generate(SynthProfile(seed=1, **base))
+        second = generate(SynthProfile(seed=2, **base))
+        fingerprint = lambda nl: [(n.name, n.gate_type, n.fanin) for n in nl.nodes]
+        assert fingerprint(first) != fingerprint(second)
+
+
+class TestMeshStructure:
+    def test_structurally_valid(self, tiny_mesh):
+        assert_valid(tiny_mesh)
+
+    def test_all_inputs_used(self, tiny_mesh):
+        for pi in tiny_mesh.input_indices:
+            assert tiny_mesh.fanout(pi), tiny_mesh.node_at(pi).name
+
+    def test_output_consolidation(self):
+        netlist = generate(
+            SynthProfile(name="m", seed=3, n_inputs=10, n_gates=60, n_outputs=4)
+        )
+        assert len(netlist.output_names) <= 4
+
+
+class TestChainStructure:
+    def test_structurally_valid(self, tiny_chain):
+        assert_valid(tiny_chain)
+
+    def test_pdf_ready(self, tiny_chain):
+        assert tiny_chain.is_pdf_ready()
+
+    def test_depth_scales_with_stages(self):
+        shallow = generate(
+            SynthProfile(name="c", seed=5, n_inputs=8, style="chain", rails=4, depth=6)
+        )
+        deep = generate(
+            SynthProfile(name="c", seed=5, n_inputs=8, style="chain", rails=4, depth=18)
+        )
+        assert analyze(deep).depth > analyze(shallow).depth
+
+    def test_q2_multiplies_paths(self):
+        base = dict(name="c", seed=9, n_inputs=10, style="chain", rails=5, depth=12)
+        no_merge = generate(SynthProfile(q2=0.0, **base))
+        merged = generate(SynthProfile(q2=0.45, **base))
+        assert count_paths(merged) > count_paths(no_merge)
+
+    def test_guard_pins_created_with_merges(self):
+        netlist = generate(
+            SynthProfile(
+                name="c", seed=9, n_inputs=10, style="chain", rails=5, depth=12, q2=0.4
+            )
+        )
+        assert any(name.startswith("E") for name in netlist.input_names)
+
+
+class TestLibraryProfiles:
+    def test_all_registry_circuits_valid(self):
+        from repro.circuit import available_circuits, load_circuit
+
+        for name in available_circuits():
+            netlist = load_circuit(name)
+            assert netlist.frozen
+            assert_valid(netlist)
+
+    def test_proxies_are_deterministic(self):
+        from repro.circuit import load_circuit
+
+        a = load_circuit("s641_proxy")
+        b = load_circuit("s641_proxy")
+        assert [n.name for n in a.nodes] == [n.name for n in b.nodes]

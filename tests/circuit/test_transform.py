@@ -1,0 +1,106 @@
+"""Tests for netlist transformations (XOR expansion etc.)."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    build_netlist,
+    expand_xor,
+    pdf_ready,
+    renamed,
+    strip_unreachable,
+)
+from repro.sim import simulate_logic
+
+
+def xor_circuit(arity: int, invert: bool = False):
+    inputs = [f"i{k}" for k in range(arity)]
+    gate = GateType.XNOR if invert else GateType.XOR
+    return build_netlist(
+        "xors",
+        inputs=inputs,
+        gates=[("y", gate, inputs)],
+        outputs=["y"],
+    )
+
+
+class TestExpandXor:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("invert", [False, True])
+    def test_exhaustive_equivalence(self, arity, invert):
+        original = xor_circuit(arity, invert)
+        expanded = expand_xor(original)
+        assert expanded.is_pdf_ready()
+        for bits in itertools.product([0, 1], repeat=arity):
+            assignment = {f"i{k}": bits[k] for k in range(arity)}
+            want = simulate_logic(original, assignment)["y"]
+            got = simulate_logic(expanded, assignment)["y"]
+            assert got == want, (bits, invert)
+
+    def test_interface_preserved(self):
+        original = xor_circuit(3)
+        expanded = expand_xor(original)
+        assert expanded.input_names == original.input_names
+        assert expanded.output_names == original.output_names
+
+    def test_mixed_circuit_other_gates_untouched(self):
+        netlist = build_netlist(
+            "mixed",
+            inputs=["a", "b", "c"],
+            gates=[
+                ("x", GateType.XOR, ["a", "b"]),
+                ("y", GateType.AND, ["x", "c"]),
+            ],
+            outputs=["y"],
+        )
+        expanded = expand_xor(netlist)
+        assert expanded.node("y").gate_type is GateType.AND
+        assert expanded.node("y").fanin == ("x", "c")
+        for bits in itertools.product([0, 1], repeat=3):
+            assignment = dict(zip("abc", bits))
+            assert (
+                simulate_logic(netlist, assignment)["y"]
+                == simulate_logic(expanded, assignment)["y"]
+            )
+
+    def test_pdf_ready_noop_without_xor(self, s27):
+        assert pdf_ready(s27) is s27
+
+    def test_pdf_ready_expands(self):
+        netlist = xor_circuit(2)
+        assert pdf_ready(netlist) is not netlist
+
+
+class TestStripUnreachable:
+    def test_drops_dead_gates(self):
+        netlist = build_netlist(
+            "dead",
+            inputs=["a"],
+            gates=[
+                ("live", GateType.NOT, ["a"]),
+                ("dead1", GateType.NOT, ["a"]),
+                ("dead2", GateType.NOT, ["dead1"]),
+            ],
+            outputs=["live"],
+        )
+        stripped = strip_unreachable(netlist)
+        assert "dead1" not in stripped
+        assert "dead2" not in stripped
+        assert "live" in stripped
+        assert stripped.input_names == ("a",)
+
+    def test_noop_on_clean_circuit(self, s27):
+        stripped = strip_unreachable(s27)
+        assert len(stripped) == len(s27)
+
+
+class TestRenamed:
+    def test_renamed_copy(self, c17):
+        copy = renamed(c17, "c17_copy")
+        assert copy.name == "c17_copy"
+        assert copy.input_names == c17.input_names
+        assert len(copy) == len(c17)
+        for node in c17.nodes:
+            assert copy.node(node.name).fanin == node.fanin

@@ -1,0 +1,54 @@
+"""Shared fixtures: small real circuits and fast synthetic ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import load_circuit
+from repro.circuit.synth import SynthProfile, generate
+
+
+@pytest.fixture(scope="session")
+def s27():
+    """The paper's Figure 1 circuit (combinational core, 7 PIs)."""
+    return load_circuit("s27")
+
+
+@pytest.fixture(scope="session")
+def c17():
+    """ISCAS-85 c17: 5 inputs, 6 NAND gates -- small enough for exhaustive
+    two-pattern analysis (4^5 = 1024 fully specified tests)."""
+    return load_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def tiny_chain():
+    """A small chain-style synthetic circuit (fast ATPG in tests)."""
+    return generate(
+        SynthProfile(
+            name="tiny_chain",
+            seed=42,
+            style="chain",
+            n_inputs=10,
+            rails=4,
+            depth=8,
+            q2=0.3,
+            p_flip=0.05,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_mesh():
+    """A small mesh-style synthetic circuit."""
+    return generate(
+        SynthProfile(
+            name="tiny_mesh",
+            seed=7,
+            style="mesh",
+            n_inputs=8,
+            n_gates=30,
+            n_outputs=4,
+            window=8.0,
+        )
+    )

@@ -1,0 +1,46 @@
+"""Tests for per-length coverage profiles."""
+
+from repro.experiments import (
+    coverage_by_length,
+    format_coverage_profile,
+)
+from repro.faults import build_target_sets
+
+
+class TestCoverageByLength:
+    def test_totals_match_population(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        profile = coverage_by_length(targets.all_records, [])
+        assert sum(entry.total for entry in profile) == len(targets.all_records)
+        assert all(entry.detected == 0 for entry in profile)
+
+    def test_detected_records_counted(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        detected = targets.all_records[:5]
+        profile = coverage_by_length(targets.all_records, detected)
+        assert sum(entry.detected for entry in profile) == 5
+
+    def test_accepts_keys(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        keys = [record.fault.key() for record in targets.all_records[:3]]
+        profile = coverage_by_length(targets.all_records, keys)
+        assert sum(entry.detected for entry in profile) == 3
+
+    def test_sorted_longest_first(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        profile = coverage_by_length(targets.all_records, [])
+        lengths = [entry.length for entry in profile]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_fraction(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        profile = coverage_by_length(targets.all_records, targets.all_records)
+        assert all(entry.fraction == 1.0 for entry in profile)
+
+    def test_format(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        text = format_coverage_profile(
+            coverage_by_length(targets.all_records, []), title="profile"
+        )
+        assert "profile" in text
+        assert "0%" in text

@@ -1,0 +1,33 @@
+"""Tests for the table renderer."""
+
+from repro.experiments.report import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["circuit", "n"],
+            [("s27", 5), ("longername", 123)],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("circuit")
+        # numbers right-aligned in the second column
+        assert lines[2].endswith("  5")
+        assert lines[3].endswith("123")
+
+    def test_title(self):
+        text = render_table(["a"], [(1,)], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_separator_row(self):
+        text = render_table(["ab", "cd"], [("x", "y")])
+        assert "--" in text.splitlines()[1]
+
+    def test_wide_values_expand_columns(self):
+        text = render_table(["a"], [("wide-value",)])
+        header = text.splitlines()[0]
+        assert len(header) >= len("wide-value")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,36 @@
+"""Tests for experiment scaling presets."""
+
+import pytest
+
+from repro.experiments import SCALES, ExperimentScale, get_scale
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"paper", "default", "smoke"} <= set(SCALES)
+
+    def test_paper_scale_matches_publication(self):
+        paper = SCALES["paper"]
+        assert paper.max_faults == 10_000
+        assert paper.p0_min_faults == 1_000
+        assert paper.max_secondary_attempts is None
+
+    def test_scales_ordered(self):
+        assert (
+            SCALES["smoke"].max_faults
+            < SCALES["default"].max_faults
+            < SCALES["paper"].max_faults
+        )
+
+    def test_get_scale_by_name(self):
+        assert get_scale("default") is SCALES["default"]
+
+    def test_get_scale_passthrough(self):
+        custom = ExperimentScale(
+            name="custom", max_faults=100, p0_min_faults=10, max_secondary_attempts=2
+        )
+        assert get_scale(custom) is custom
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(KeyError):
+            get_scale("gigantic")

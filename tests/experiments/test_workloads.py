@@ -1,0 +1,33 @@
+"""Tests for the experiment workload definitions."""
+
+from repro.circuit import available_circuits
+from repro.experiments import (
+    HEURISTICS,
+    TABLE3_CIRCUITS,
+    TABLE6_CIRCUITS,
+    TABLE6_EXTRA_CIRCUITS,
+)
+
+
+class TestWorkloads:
+    def test_table3_has_eight_circuits(self):
+        assert len(TABLE3_CIRCUITS) == 8
+
+    def test_table6_adds_three_resynthesized(self):
+        assert len(TABLE6_EXTRA_CIRCUITS) == 3
+        assert TABLE6_CIRCUITS == TABLE3_CIRCUITS + TABLE6_EXTRA_CIRCUITS
+        assert all(name.startswith("s") for name in TABLE6_EXTRA_CIRCUITS)
+        assert all("r_proxy" in name for name in TABLE6_EXTRA_CIRCUITS)
+
+    def test_all_workload_circuits_loadable(self):
+        registry = set(available_circuits())
+        for name in TABLE6_CIRCUITS:
+            assert name in registry, name
+
+    def test_heuristics_order_matches_paper_columns(self):
+        assert HEURISTICS == ("uncomp", "arbit", "length", "values")
+
+    def test_workload_names_mirror_paper_circuits(self):
+        paper_names = {"s641", "s953", "s1196", "s1423", "s1488", "b03", "b04", "b09"}
+        got = {name.replace("_proxy", "") for name in TABLE3_CIRCUITS}
+        assert got == paper_names

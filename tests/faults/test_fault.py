@@ -1,0 +1,71 @@
+"""Tests for path delay faults."""
+
+import pytest
+
+from repro.algebra import FALL, RISE
+from repro.faults import (
+    Path,
+    PathDelayFault,
+    Transition,
+    faults_of_path,
+    faults_of_paths,
+)
+
+
+class TestTransition:
+    def test_source_triples(self):
+        assert Transition.RISE.source_triple is RISE
+        assert Transition.FALL.source_triple is FALL
+
+    def test_opposite(self):
+        assert Transition.RISE.opposite is Transition.FALL
+        assert Transition.FALL.opposite is Transition.RISE
+
+    def test_str(self):
+        assert str(Transition.RISE) == "slow-to-rise"
+        assert str(Transition.FALL) == "slow-to-fall"
+
+
+class TestFault:
+    def test_two_faults_per_path(self, s27):
+        path = Path.from_names(s27, ["G1", "G12", "G13"])
+        str_fault, stf_fault = faults_of_path(path)
+        assert str_fault.transition is Transition.RISE
+        assert stf_fault.transition is Transition.FALL
+        assert str_fault != stf_fault
+        assert str_fault.path == stf_fault.path
+
+    def test_faults_of_paths_count(self, s27):
+        paths = [
+            Path.from_names(s27, ["G1", "G12"]),
+            Path.from_names(s27, ["G2", "G13"]),
+        ]
+        assert len(list(faults_of_paths(paths))) == 4
+
+    def test_equality_and_hash(self, s27):
+        path = Path.from_names(s27, ["G1", "G12"])
+        a = PathDelayFault(path, Transition.RISE)
+        b = PathDelayFault(Path.from_names(s27, ["G1", "G12"]), Transition.RISE)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_properties(self, s27):
+        path = Path.from_names(s27, ["G1", "G12", "G13"])
+        fault = PathDelayFault(path, Transition.FALL)
+        assert fault.length == 3
+        assert fault.source == s27.index_of("G1")
+        assert fault.sink == s27.index_of("G13")
+
+    def test_immutable(self, s27):
+        fault = PathDelayFault(
+            Path.from_names(s27, ["G1", "G12"]), Transition.RISE
+        )
+        with pytest.raises(AttributeError):
+            fault.transition = Transition.FALL
+
+    def test_format(self, s27):
+        fault = PathDelayFault(
+            Path.from_names(s27, ["G1", "G12"]), Transition.RISE
+        )
+        assert fault.format(s27) == "(G1, G12) slow-to-rise"

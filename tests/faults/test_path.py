@@ -1,0 +1,67 @@
+"""Tests for the Path data type."""
+
+import pytest
+
+from repro.faults import Path, PathError
+
+
+class TestConstruction:
+    def test_from_names(self, s27):
+        path = Path.from_names(s27, ["G1", "G12", "G13"])
+        assert path.length == 3
+        assert path.names(s27) == ("G1", "G12", "G13")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PathError):
+            Path(())
+
+    def test_immutable(self, s27):
+        path = Path.from_names(s27, ["G1", "G12"])
+        with pytest.raises(AttributeError):
+            path.nodes = (1, 2)
+
+    def test_from_names_rejects_disconnected(self, s27):
+        with pytest.raises(PathError, match="does not drive"):
+            Path.from_names(s27, ["G1", "G13"])
+
+    def test_from_names_rejects_non_input_source(self, s27):
+        with pytest.raises(PathError, match="not a primary input"):
+            Path.from_names(s27, ["G12", "G13"])
+
+
+class TestBehavior:
+    def test_extended(self, s27):
+        path = Path.from_names(s27, ["G1", "G12"])
+        longer = path.extended(s27.index_of("G13"))
+        assert longer.length == 3
+        assert path.length == 2  # original untouched
+
+    def test_edges(self, s27):
+        path = Path.from_names(s27, ["G1", "G12", "G13"])
+        edges = list(path.edges())
+        assert len(edges) == 2
+        assert edges[0] == (s27.index_of("G1"), s27.index_of("G12"))
+
+    def test_is_complete(self, s27):
+        complete = Path.from_names(s27, ["G2", "G13"])  # G13 is a pseudo-PO
+        assert complete.is_complete(s27)
+        partial = Path.from_names(s27, ["G1", "G12"])
+        assert not partial.is_complete(s27)
+
+    def test_ordering_and_hash(self, s27):
+        a = Path.from_names(s27, ["G1", "G12"])
+        b = Path.from_names(s27, ["G1", "G12"])
+        c = Path.from_names(s27, ["G1", "G12", "G13"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a < c
+
+    def test_iteration_and_indexing(self, s27):
+        path = Path.from_names(s27, ["G1", "G12", "G13"])
+        assert list(path)[0] == path[0] == s27.index_of("G1")
+        assert len(path) == 3
+
+    def test_format(self, s27):
+        path = Path.from_names(s27, ["G1", "G12"])
+        assert path.format(s27) == "(G1, G12)"

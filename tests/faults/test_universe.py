@@ -1,0 +1,97 @@
+"""Tests for target-set construction (P, P0, P1)."""
+
+import pytest
+
+from repro.faults import build_target_sets, partition_by_lengths
+from repro.paths import length_table_for_faults
+
+
+class TestBuildTargetSets:
+    def test_s27_split(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        # i0 is the first index whose cumulative count reaches 20.
+        table = targets.length_table
+        assert table[targets.i0].cumulative >= 20
+        if targets.i0 > 0:
+            assert table[targets.i0 - 1].cumulative < 20
+        boundary = targets.boundary_length
+        assert all(r.length >= boundary for r in targets.p0)
+        assert all(r.length < boundary for r in targets.p1)
+
+    def test_p0_contains_all_longest(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        longest = targets.length_table[0].length
+        longest_records = [r for r in targets.all_records if r.length == longest]
+        assert longest_records
+        assert all(r in targets.p0 for r in longest_records)
+
+    def test_p0_at_least_min_when_available(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        assert len(targets.p0) >= 20
+
+    def test_whole_population_smaller_than_min(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=10_000)
+        assert targets.p1 == []
+        assert len(targets.p0) == len(targets.all_records)
+
+    def test_conflicting_faults_dropped(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        assert targets.dropped_conflict > 0
+        assert all(record.sens is not None for record in targets.all_records)
+
+    def test_implication_filter_applied(self, s27):
+        from repro.atpg import Justifier, RequirementSet, has_implication_conflict
+
+        justifier = Justifier(s27)
+
+        def keep(record):
+            return not has_implication_conflict(
+                justifier, RequirementSet(record.sens.requirements)
+            )
+
+        unfiltered = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        filtered = build_target_sets(
+            s27, max_faults=1000, p0_min_faults=20, implication_filter=keep
+        )
+        total_f = len(filtered.all_records)
+        total_u = len(unfiltered.all_records)
+        assert total_f + filtered.dropped_implication == total_u
+
+    def test_non_robust_mode_keeps_more_faults(self, tiny_chain):
+        robust = build_target_sets(tiny_chain, max_faults=400, p0_min_faults=50)
+        non_robust = build_target_sets(
+            tiny_chain, max_faults=400, p0_min_faults=50, mode="non_robust"
+        )
+        assert non_robust.dropped_conflict <= robust.dropped_conflict
+
+    def test_summary_mentions_sizes(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        text = targets.summary()
+        assert "P0" in text and "s27" in text
+
+    def test_length_table_matches_records(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        rebuilt = length_table_for_faults(r.fault for r in targets.all_records)
+        assert [(row.length, row.cumulative) for row in rebuilt] == [
+            (row.length, row.cumulative) for row in targets.length_table
+        ]
+
+
+class TestPartitionByLengths:
+    def test_three_way_split(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        records = targets.all_records
+        lengths = sorted({r.length for r in records}, reverse=True)
+        assert len(lengths) >= 3
+        subsets = partition_by_lengths(records, [lengths[0], lengths[2]])
+        assert len(subsets) == 3
+        assert sum(len(s) for s in subsets) == len(records)
+        assert all(r.length >= lengths[0] for r in subsets[0])
+        assert all(lengths[2] <= r.length < lengths[0] for r in subsets[1])
+        assert all(r.length < lengths[2] for r in subsets[2])
+
+    def test_empty_boundaries(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        subsets = partition_by_lengths(targets.all_records, [])
+        assert len(subsets) == 1
+        assert len(subsets[0]) == len(targets.all_records)

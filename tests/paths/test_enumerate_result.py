@@ -1,0 +1,32 @@
+"""Tests for EnumerationResult bookkeeping fields."""
+
+from repro.paths import FAULTS_PER_PATH, enumerate_paths
+
+
+class TestResultFields:
+    def test_faults_per_path_constant(self):
+        assert FAULTS_PER_PATH == 2
+
+    def test_num_faults(self, s27):
+        result = enumerate_paths(s27, max_faults=10_000)
+        assert result.num_faults == FAULTS_PER_PATH * len(result.paths)
+
+    def test_uncapped_has_no_pruning(self, s27):
+        result = enumerate_paths(s27, max_faults=10_000)
+        assert not result.cap_hit
+        assert result.pruned_complete == 0
+        assert result.pruned_partial == 0
+
+    def test_expansions_counted(self, s27):
+        result = enumerate_paths(s27, max_faults=10_000)
+        # At least one expansion per non-trivial complete path.
+        assert result.expansions >= len(result.paths) - len(s27.input_names)
+
+    def test_empty_length_fields_default(self, s27):
+        result = enumerate_paths(s27, max_faults=10_000)
+        assert result.min_kept_length <= result.max_kept_length
+
+    def test_capped_prunes_something(self, s27):
+        result = enumerate_paths(s27, max_faults=20, use_distances=True)
+        assert result.cap_hit
+        assert result.pruned_complete + result.pruned_partial > 0

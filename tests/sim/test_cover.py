@@ -1,0 +1,82 @@
+"""Tests for compiled requirement checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Triple, X, all_triples
+from repro.sim import CompiledRequirements
+
+ALL_TRIPLES = list(all_triples())
+
+
+def sim_array(triples):
+    """Build a (n_nodes, 3, 1) code array from a list of triples."""
+    data = np.array([t.components() for t in triples], dtype=np.int8)
+    return data[:, :, None]
+
+
+class TestCoveredBy:
+    def test_exact_match(self):
+        req = CompiledRequirements({0: Triple.parse("0x1")})
+        assert req.covered_by(sim_array([Triple.parse("0x1")]))[0]
+        assert req.covered_by(sim_array([Triple.parse("001")]))[0]
+
+    def test_x_simulated_fails_specified(self):
+        req = CompiledRequirements({0: Triple.parse("000")})
+        assert not req.covered_by(sim_array([Triple.parse("0x0")]))[0]
+
+    def test_multi_line(self):
+        req = CompiledRequirements(
+            {0: Triple.parse("xx1"), 1: Triple.parse("111")}
+        )
+        ok = sim_array([Triple.parse("0x1"), Triple.parse("111")])
+        bad = sim_array([Triple.parse("0x1"), Triple.parse("110")])
+        assert req.covered_by(ok)[0]
+        assert not req.covered_by(bad)[0]
+
+    def test_empty_requirements_cover_everything(self):
+        req = CompiledRequirements({})
+        assert req.covered_by(np.zeros((4, 3, 5), dtype=np.int8)).all()
+
+    def test_batch_columns_independent(self):
+        req = CompiledRequirements({0: Triple.parse("111")})
+        sims = np.stack(
+            [
+                np.array([Triple.parse("111").components()], dtype=np.int8),
+                np.array([Triple.parse("101").components()], dtype=np.int8),
+            ],
+            axis=2,
+        ).reshape(1, 3, 2)
+        got = req.covered_by(sims)
+        assert got.tolist() == [True, False]
+
+
+class TestConsistentWith:
+    def test_x_is_consistent(self):
+        req = CompiledRequirements({0: Triple.parse("111")})
+        assert req.consistent_with(sim_array([Triple.parse("xxx")]))[0]
+        assert req.consistent_with(sim_array([Triple.parse("1xx")]))[0]
+
+    def test_contradiction_detected(self):
+        req = CompiledRequirements({0: Triple.parse("111")})
+        assert not req.consistent_with(sim_array([Triple.parse("0xx")]))[0]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        sim=st.sampled_from(ALL_TRIPLES),
+        req_triple=st.sampled_from(ALL_TRIPLES),
+    )
+    def test_matches_triple_semantics(self, sim, req_triple):
+        compiled = CompiledRequirements({0: req_triple})
+        sims = sim_array([sim])
+        assert bool(compiled.covered_by(sims)[0]) == sim.covers(req_triple)
+        assert (
+            bool(compiled.consistent_with(sims)[0])
+            == sim.consistent_with(req_triple)
+        )
+
+    def test_len(self):
+        req = CompiledRequirements({0: Triple.parse("0x1"), 3: Triple.parse("xxx")})
+        assert len(req) == 2  # two specified components on node 0, none on 3

@@ -1,0 +1,80 @@
+"""Tests for test-set file I/O."""
+
+import pytest
+
+from repro.algebra import Triple
+from repro.sim import (
+    TestFileError,
+    TwoPatternTest,
+    dump_tests,
+    dumps_tests,
+    load_tests,
+    loads_tests,
+)
+
+
+def sample_tests(netlist):
+    stable = TwoPatternTest(
+        {pi: Triple.stable(1) for pi in netlist.input_indices}
+    )
+    moving = TwoPatternTest(
+        {pi: Triple.transition(0, 1) for pi in netlist.input_indices}
+    )
+    return [stable, moving]
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self, c17):
+        tests = sample_tests(c17)
+        text = dumps_tests(c17, tests)
+        back = loads_tests(text, c17)
+        assert back == tests
+
+    def test_file_roundtrip(self, c17, tmp_path):
+        tests = sample_tests(c17)
+        path = tmp_path / "tests.txt"
+        dump_tests(path, c17, tests)
+        assert load_tests(path, c17) == tests
+
+    def test_header_contents(self, c17):
+        text = dumps_tests(c17, [])
+        assert "# circuit: c17" in text
+        assert "# inputs: N1 N2 N3 N6 N7" in text
+
+    def test_partially_specified(self, c17):
+        test = TwoPatternTest({c17.input_indices[0]: Triple.parse("0x1")})
+        back = loads_tests(dumps_tests(c17, [test]), c17)
+        assert back[0].triple_for(c17.input_indices[0]) is Triple.parse("0x1")
+        # remaining inputs round-trip as xxx
+        assert not back[0].is_fully_specified(c17)
+
+    def test_generated_tests_roundtrip(self, s27):
+        from repro import enrich_circuit
+
+        report = enrich_circuit(s27, max_faults=200, p0_min_faults=10, seed=4)
+        tests = report.result.test_vectors
+        back = loads_tests(dumps_tests(s27, tests), s27)
+        assert back == tests
+
+
+class TestErrors:
+    def test_missing_separator(self, c17):
+        with pytest.raises(TestFileError, match="separator"):
+            loads_tests("11111 11111\n", c17)
+
+    def test_wrong_width(self, c17):
+        with pytest.raises(TestFileError, match="width"):
+            loads_tests("111 -> 11111\n", c17)
+
+    def test_bad_character(self, c17):
+        with pytest.raises(TestFileError, match="line 1"):
+            loads_tests("1111ز -> 11111\n", c17)
+
+    def test_input_order_mismatch(self, c17):
+        text = "# inputs: A B C\n"
+        with pytest.raises(TestFileError, match="mismatch"):
+            loads_tests(text, c17)
+
+    def test_blank_lines_and_comments_ignored(self, c17):
+        text = "\n# a comment\n\n11111 -> 11111\n"
+        assert len(loads_tests(text, c17)) == 1

@@ -1,0 +1,71 @@
+"""Tests for two-pattern test vectors."""
+
+import pytest
+
+from repro.algebra import RISE, STABLE0, STABLE1, Triple, UNKNOWN
+from repro.sim import TwoPatternTest
+
+
+class TestConstruction:
+    def test_from_names(self, c17):
+        test = TwoPatternTest.from_names(
+            c17, {"N1": "0x1", "N2": "111", "N3": STABLE0}
+        )
+        assert test.triple_for(c17.index_of("N1")) is RISE
+        assert test.triple_for(c17.index_of("N2")) is STABLE1
+        assert test.triple_for(c17.index_of("N3")) is STABLE0
+
+    def test_from_names_rejects_gate(self, c17):
+        with pytest.raises(ValueError):
+            TwoPatternTest.from_names(c17, {"N10": "000"})
+
+    def test_unassigned_default_unknown(self, c17):
+        test = TwoPatternTest({})
+        assert test.triple_for(c17.index_of("N1")) is UNKNOWN
+
+    def test_immutable(self, c17):
+        test = TwoPatternTest({})
+        with pytest.raises(AttributeError):
+            test.assignment = {}
+
+
+class TestQueries:
+    def test_is_fully_specified(self, c17):
+        partial = TwoPatternTest.from_names(c17, {"N1": "0x1"})
+        assert not partial.is_fully_specified(c17)
+        full = TwoPatternTest(
+            {pi: Triple.stable(0) for pi in c17.input_indices}
+        )
+        assert full.is_fully_specified(c17)
+
+    def test_transition_counts_as_specified(self, c17):
+        full = TwoPatternTest(
+            {pi: Triple.transition(0, 1) for pi in c17.input_indices}
+        )
+        assert full.is_fully_specified(c17)
+
+    def test_patterns_rendering(self, c17):
+        test = TwoPatternTest(
+            {pi: Triple.transition(0, 1) for pi in c17.input_indices}
+        )
+        first, second = test.patterns(c17)
+        assert first == "0" * 5
+        assert second == "1" * 5
+
+    def test_format(self, c17):
+        test = TwoPatternTest(
+            {pi: Triple.stable(1) for pi in c17.input_indices}
+        )
+        assert test.format(c17) == "<11111 -> 11111>"
+
+    def test_equality_and_hash(self, c17):
+        a = TwoPatternTest({0: RISE})
+        b = TwoPatternTest({0: RISE})
+        c = TwoPatternTest({0: STABLE0})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration(self):
+        test = TwoPatternTest({0: RISE, 1: STABLE0})
+        assert dict(test) == {0: RISE, 1: STABLE0}
+        assert len(test) == 2

@@ -1,0 +1,71 @@
+"""Tests for the high-level convenience API."""
+
+import pytest
+
+import repro
+from repro import basic_atpg_circuit, enrich_circuit, prepare_targets
+from repro.api import resolve_circuit
+
+
+class TestResolveCircuit:
+    def test_by_name(self):
+        netlist = resolve_circuit("c17")
+        assert netlist.name == "c17"
+
+    def test_passthrough(self, s27):
+        assert resolve_circuit(s27) is s27
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            resolve_circuit("does_not_exist")
+
+    def test_xor_circuit_expanded(self):
+        from repro.circuit import GateType, build_netlist
+
+        netlist = build_netlist(
+            "x",
+            inputs=["a", "b"],
+            gates=[("y", GateType.XOR, ["a", "b"])],
+            outputs=["y"],
+        )
+        resolved = resolve_circuit(netlist)
+        assert resolved is not netlist
+        assert resolved.is_pdf_ready()
+
+
+class TestPrepareTargets:
+    def test_defaults_match_paper(self):
+        import inspect
+
+        signature = inspect.signature(prepare_targets)
+        assert signature.parameters["max_faults"].default == 10_000
+        assert signature.parameters["p0_min_faults"].default == 1_000
+
+    def test_filter_toggle(self, s27):
+        with_filter = prepare_targets(s27, max_faults=1000, p0_min_faults=20)
+        without = prepare_targets(
+            s27, max_faults=1000, p0_min_faults=20, filter_implications=False
+        )
+        assert without.dropped_implication == 0
+        assert len(with_filter.all_records) <= len(without.all_records)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports(self):
+        assert callable(repro.prepare_targets)
+        assert callable(repro.basic_atpg_circuit)
+        assert callable(repro.enrich_circuit)
+
+    def test_basic_by_name(self):
+        result = basic_atpg_circuit(
+            "s27", heuristic="uncomp", max_faults=200, p0_min_faults=10, seed=2
+        )
+        assert result.num_tests > 0
+
+    def test_enrich_by_name(self):
+        report = enrich_circuit("s27", max_faults=200, p0_min_faults=10, seed=2)
+        assert report.num_tests > 0
+        assert report.p0_detected > 0

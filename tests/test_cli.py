@@ -1,0 +1,98 @@
+"""Tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("circuits", "stats", "enumerate", "atpg", "enrich", "tables"):
+            args = parser.parse_args(
+                [command] + ([] if command in ("circuits", "tables") else ["s27"])
+            )
+            assert args.command == command
+
+
+class TestCommands:
+    def test_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out and "s1423_proxy" in out
+
+    def test_stats_registry(self, capsys):
+        assert main(["stats", "s27"]) == 0
+        assert "10 gates" in capsys.readouterr().out
+
+    def test_stats_bench_file(self, tmp_path, capsys):
+        bench = tmp_path / "mini.bench"
+        bench.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert main(["stats", str(bench)]) == 0
+        assert "1 PIs" in capsys.readouterr().out
+
+    def test_enumerate(self, capsys):
+        code = main(
+            ["enumerate", "s27", "--max-faults", "100", "--p0-min-faults", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N_p(L_i)" in out and "|P0|" in out
+
+    def test_atpg(self, capsys):
+        code = main(
+            [
+                "atpg",
+                "s27",
+                "--heuristic",
+                "values",
+                "--max-faults",
+                "100",
+                "--p0-min-faults",
+                "20",
+                "--show-tests",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tests" in out and "->" in out
+
+    def test_enrich(self, capsys):
+        code = main(
+            ["enrich", "s27", "--max-faults", "100", "--p0-min-faults", "20"]
+        )
+        assert code == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_tables_quick_smoke_with_cache(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(
+            [
+                "tables",
+                "--scale",
+                "smoke",
+                "--quick",
+                "--max-faults",
+                "120",
+                "--p0-min-faults",
+                "30",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        assert "Table 6" in first
+        payload = json.loads(out_path.read_text())
+        assert payload["scale"] == "smoke"
+        # Re-render from the cache without recomputation.
+        code = main(["tables", "--from-json", str(out_path)])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert second == first

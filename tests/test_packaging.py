@@ -1,0 +1,65 @@
+"""Package hygiene: every public name in __all__ must exist and import."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.algebra",
+    "repro.circuit",
+    "repro.paths",
+    "repro.faults",
+    "repro.sim",
+    "repro.atpg",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.api",
+        "repro.cli",
+        "repro.circuit.bench",
+        "repro.circuit.synth",
+        "repro.circuit.transform",
+        "repro.circuit.validate",
+        "repro.sim.testfile",
+        "repro.sim.waveform",
+        "repro.atpg.static_compaction",
+        "repro.experiments.coverage",
+        "repro.experiments.report",
+    ],
+)
+def test_submodules_import(module_name):
+    importlib.import_module(module_name)
+
+
+def test_no_circular_import_fresh():
+    """Importing the faults package first (the historical cycle) works."""
+    import subprocess
+    import sys
+
+    code = "import repro.faults; import repro.paths; print('ok')"
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert out.returncode == 0, out.stderr
+    assert "ok" in out.stdout
+
+
+def test_version_consistency():
+    import repro
+    from repro._version import __version__
+
+    assert repro.__version__ == __version__

@@ -1,0 +1,116 @@
+"""Offline calibration search for the proxy-circuit profiles.
+
+For every named proxy this script randomizes chain-style generator
+parameters until the resulting circuit satisfies:
+
+* at least ~1000 paths (the paper's circuit-selection criterion),
+* a target-set split at experiment scale (N_P=600, N_P0=150) with a
+  healthy P1,
+* a sampled P0 justification success rate inside a per-circuit band chosen
+  to mirror the corresponding paper circuit's detected fraction
+  (e.g. b04 is hard: 29% in Table 3; s953 is easy: 99.6%).
+
+The chosen profiles are printed as Python source for library.py.
+This tool is for maintainers; it is not part of the installed package.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+
+from repro.atpg import Justifier, RequirementSet
+from repro.circuit import analyze
+from repro.circuit.synth import SynthProfile, generate
+from repro.faults import build_target_sets
+
+# (name, base_seed, band_low, band_high) -- bands from Table 3 detect rates.
+TARGETS = [
+    ("s641_proxy", 641, 0.55, 0.95),
+    ("s953_proxy", 953, 0.75, 1.01),
+    ("s1196_proxy", 1196, 0.35, 0.70),
+    ("s1423_proxy", 1423, 0.55, 0.95),
+    ("s1488_proxy", 1488, 0.75, 1.01),
+    ("b03_proxy", 303, 0.55, 0.95),
+    ("b04_proxy", 404, 0.12, 0.45),
+    ("b09_proxy", 909, 0.40, 0.80),
+    ("s1423r_proxy", 11423, 0.70, 1.01),
+    ("s5378r_proxy", 15378, 0.65, 1.01),
+    ("s9234r_proxy", 19234, 0.80, 1.01),
+]
+
+N_P = 600
+N_P0 = 150
+SAMPLE = 40
+
+
+def sample_rate(netlist, pool, n=SAMPLE, seed=0):
+    justifier = Justifier(netlist)
+    rng = random.Random(seed)
+    subset = pool[:n]
+    if not subset:
+        return 0.0
+    ok = sum(
+        1
+        for rec in subset
+        if justifier.justify(RequirementSet(rec.sens.requirements), rng) is not None
+    )
+    return ok / len(subset)
+
+
+def trial(name, seed, rng):
+    kw = dict(
+        name=name,
+        seed=seed,
+        style="chain",
+        n_inputs=rng.choice([16, 18, 20, 22, 24]),
+        rails=rng.choice([5, 6, 7, 8]),
+        depth=rng.choice([12, 13, 14, 15, 16]),
+        q2=rng.choice([0.25, 0.30, 0.35, 0.40]),
+        p_flip=rng.choice([0.02, 0.04, 0.06, 0.08, 0.10, 0.14]),
+    )
+    profile = SynthProfile(**kw)
+    netlist = generate(profile)
+    stats = analyze(netlist)
+    if stats.num_paths < 900 or stats.num_paths > 2_000_000:
+        return None, kw, stats, None
+    targets = build_target_sets(netlist, max_faults=N_P, p0_min_faults=N_P0)
+    if not (130 <= len(targets.p0) <= 320) or len(targets.p1) < 120:
+        return None, kw, stats, targets
+    rate = sample_rate(netlist, targets.p0)
+    return rate, kw, stats, targets
+
+
+def main():
+    results = {}
+    for name, base_seed, low, high in TARGETS:
+        rng = random.Random(base_seed * 7 + 1)
+        best = None
+        for attempt in range(60):
+            seed = base_seed * 1000 + attempt
+            try:
+                rate, kw, stats, targets = trial(name, seed, rng)
+            except Exception as exc:  # keep searching on rare bad configs
+                print(f"[{name}] attempt {attempt}: error {exc}", flush=True)
+                continue
+            if rate is None:
+                continue
+            print(
+                f"[{name}] attempt {attempt}: rate={rate:.2f} paths={stats.num_paths} "
+                f"P0={len(targets.p0)} P1={len(targets.p1)} {kw}",
+                flush=True,
+            )
+            if low <= rate <= high:
+                best = kw
+                break
+            if best is None:
+                best = kw  # fallback: keep something workable
+        results[name] = best
+        print(f"[{name}] SELECTED: {best}", flush=True)
+    print("\n=== PROFILES ===")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

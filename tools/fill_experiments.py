@@ -1,0 +1,25 @@
+"""Insert the measured Table 6/7 rows into EXPERIMENTS.md (maintainers)."""
+from pathlib import Path
+
+from repro.experiments import ExperimentResults
+
+results = ExperimentResults.from_json(Path("results/default_scale.json").read_text())
+
+lines = ["Table 6:", "", "| circuit | i0 | P0 total | P0 detect | P0,P1 total | P0,P1 detect | tests |", "|---|--:|--:|--:|--:|--:|--:|"]
+for row in results.table6:
+    lines.append(
+        f"| {row.circuit} | {row.i0} | {row.p0_total} | {row.p0_detected} "
+        f"| {row.p01_total} | {row.p01_detected} | {row.tests} |"
+    )
+lines += ["", "Table 7 — run-time ratio (enrich / basic values):", "", "| circuit | ratio |", "|---|--:|"]
+by_name = {row.circuit: row for row in results.table6}
+for name, entry in results.basic.items():
+    if name in by_name and "values" in entry.outcomes:
+        ratio = by_name[name].runtime_seconds / max(entry.outcomes["values"].runtime_seconds, 1e-9)
+        lines.append(f"| {name} | {ratio:.2f} |")
+block = "\n".join(lines)
+
+doc = Path("EXPERIMENTS.md").read_text()
+doc = doc.replace("<!-- TABLE6_MEASURED -->", block)
+Path("EXPERIMENTS.md").write_text(doc)
+print("filled")

@@ -1,0 +1,17 @@
+"""Recompute Table 6/7 rows (enrichment) and merge into cached results.
+
+Used after changes that only affect the enrichment runs (the basic runs of
+Tables 1-5 are deterministic given scale+seed and are reused from the
+cached JSON).
+"""
+import sys
+from pathlib import Path
+
+from repro.experiments import ExperimentResults, run_table6
+
+cache = Path("results/default_scale.json")
+results = ExperimentResults.from_json(cache.read_text())
+results.table6 = run_table6("default")
+cache.write_text(results.to_json())
+Path("results/tables_default.txt").write_text(results.format_all() + "\n")
+print("refreshed", file=sys.stderr)
