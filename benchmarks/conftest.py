@@ -4,7 +4,9 @@ Benchmarks run at the ``smoke`` scale so a full ``pytest benchmarks/
 --benchmark-only`` finishes in minutes; the ``default``-scale numbers that
 EXPERIMENTS.md reports come from ``repro-pdf tables --scale default``.
 
-Heavy precomputation (target sets) is session-scoped; the benchmarked
+Heavy precomputation is owned by one session-scoped
+:class:`repro.engine.Engine`: every bench module shares each circuit's
+enumeration, target sets and compiled simulators, and the benchmarked
 bodies are the algorithms themselves.
 """
 
@@ -12,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import prepare_targets, resolve_circuit
+from repro.engine import Engine
 from repro.experiments import get_scale
 
 SMOKE = get_scale("smoke")
@@ -28,17 +30,21 @@ def smoke_scale():
 
 
 @pytest.fixture(scope="session")
-def targets_by_circuit():
+def engine():
+    """One engine for the whole benchmark session."""
+    return Engine()
+
+
+@pytest.fixture(scope="session")
+def targets_by_circuit(engine):
     """Target sets for the benchmark circuits at smoke scale."""
-    out = {}
-    for name in BENCH_CIRCUITS:
-        netlist = resolve_circuit(name)
-        out[name] = prepare_targets(
-            netlist,
+    return {
+        name: engine.session(name).target_sets(
             max_faults=SMOKE.max_faults,
             p0_min_faults=SMOKE.p0_min_faults,
         )
-    return out
+        for name in BENCH_CIRCUITS
+    }
 
 
 @pytest.fixture(scope="session", params=BENCH_CIRCUITS)
@@ -48,14 +54,14 @@ def circuit_targets(request, targets_by_circuit):
 
 
 @pytest.fixture(scope="session")
-def run_cache(targets_by_circuit):
+def run_cache(engine, targets_by_circuit):
     """Lazy session cache of generation runs shared across bench modules.
 
     ``cache.basic(name, heuristic)`` and ``cache.enriched(name)`` run once
     per key; Tables 3/4/5/6/7 all consume the same underlying runs, just
     as the paper's experiments do.
     """
-    from repro.atpg import AtpgConfig, generate_basic, generate_enriched
+    from repro.atpg import AtpgConfig
 
     class _Cache:
         def __init__(self):
@@ -73,16 +79,16 @@ def run_cache(targets_by_circuit):
             key = (name, heuristic)
             if key not in self._basic:
                 targets = targets_by_circuit[name]
-                self._basic[key] = generate_basic(
-                    targets.netlist, targets.p0, self._config(heuristic)
+                self._basic[key] = engine.session(name).generate_basic(
+                    targets.p0, self._config(heuristic)
                 )
             return self._basic[key]
 
         def enriched(self, name):
             if name not in self._enriched:
                 targets = targets_by_circuit[name]
-                self._enriched[name] = generate_enriched(
-                    targets.netlist, targets, self._config("values")
+                self._enriched[name] = engine.session(name).generate_enriched(
+                    targets, self._config("values")
                 )
             return self._enriched[name]
 

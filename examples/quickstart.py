@@ -1,24 +1,29 @@
 """Quickstart: path delay fault test enrichment on the paper's s27 circuit.
 
-Loads the ISCAS-89 s27 circuit (Figure 1 of the paper), enumerates its
-paths, builds the two target sets P0 (longest paths) and P1 (next-to-
-longest paths), runs the enrichment procedure, and prints the resulting
-two-pattern tests.
+Opens a CircuitSession for the ISCAS-89 s27 circuit (Figure 1 of the
+paper), enumerates its paths, builds the two target sets P0 (longest
+paths) and P1 (next-to-longest paths), runs the enrichment procedure, and
+prints the resulting two-pattern tests.  The session caches every derived
+artifact -- one enumeration, one compiled simulator -- across all steps,
+and its stats object shows the work performed.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import enrich_circuit, prepare_targets
-from repro.circuit import analyze, load_circuit
+from repro import CircuitSession, enrich_circuit
+from repro.circuit import analyze
 
 def main() -> None:
-    netlist = load_circuit("s27")
+    # One session per circuit: every later step reuses its cached
+    # simulator, justifier and target sets.
+    session = CircuitSession("s27")
+    netlist = session.netlist
     print("Circuit:", analyze(netlist))
     print()
 
     # Step 1: enumerate paths and split into P0 / P1.  s27 only has 28
     # paths, so a small N_P0 keeps P1 non-empty.
-    targets = prepare_targets(netlist, max_faults=1000, p0_min_faults=20)
+    targets = session.target_sets(max_faults=1000, p0_min_faults=20)
     print("Target sets:", targets.summary())
     print()
     print("Length table (paper Table 2 layout):")
@@ -27,8 +32,11 @@ def main() -> None:
 
     # Step 2: the enrichment procedure -- primaries from P0, secondary
     # target faults from P0 first and P1 afterwards, so P1 detection is
-    # free in terms of test count.
-    report = enrich_circuit(netlist, targets=targets, seed=7)
+    # free in terms of test count.  Passing the session reuses the cached
+    # targets (same key) and the compiled simulator.
+    report = enrich_circuit(
+        netlist, max_faults=1000, p0_min_faults=20, seed=7, session=session
+    )
     print("Enrichment:", report.summary())
     print()
 
@@ -42,14 +50,16 @@ def main() -> None:
         )
 
     # Every fault the generator claims is detected really is: re-check
-    # with the independent fault simulator.
-    from repro.sim import FaultSimulator
-
-    simulator = FaultSimulator(netlist, targets.all_records)
+    # with the independent fault simulator (also session-cached).
+    simulator = session.fault_simulator(targets.all_records)
     detected, total = simulator.coverage(report.result.test_vectors)
     print()
     print(f"Independent fault simulation: {detected}/{total} faults detected")
     assert detected == report.p01_detected
+
+    # The session recorded every cache hit, enumeration and simulation.
+    print()
+    print(session.stats.format())
 
 
 if __name__ == "__main__":

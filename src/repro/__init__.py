@@ -17,13 +17,17 @@ Public API highlights
   heuristics of Section 2, and the test enrichment procedure of Section 3.
 * :mod:`repro.experiments` -- drivers that regenerate every table of the
   paper's evaluation.
+* :mod:`repro.engine` -- per-circuit sessions that cache every derived
+  artifact (enumerations, target sets, simulators) behind one object.
 
 Quickstart::
 
-    from repro import enrich_circuit
+    from repro import CircuitSession, enrich_circuit
 
-    report = enrich_circuit("s27")
+    session = CircuitSession("s27")
+    report = enrich_circuit("s27", session=session)
     print(report.summary())
+    print(session.stats.format())
 """
 
 from ._version import __version__
@@ -32,10 +36,14 @@ from .api import (
     enrich_circuit,
     prepare_targets,
 )
+from .engine import CircuitSession, Engine, EngineStats
 
 __all__ = [
     "__version__",
     "prepare_targets",
     "basic_atpg_circuit",
     "enrich_circuit",
+    "CircuitSession",
+    "Engine",
+    "EngineStats",
 ]

@@ -21,6 +21,7 @@ from ..circuit.netlist import Netlist
 from ..faults.universe import FaultRecord, TargetSets
 from ..sim.batch import BatchSimulator
 from .generator import AtpgConfig, TestGenerator
+from .justify import Justifier
 from .result import GenerationResult
 
 __all__ = ["EnrichmentReport", "generate_enriched"]
@@ -78,6 +79,7 @@ def generate_enriched(
     targets: TargetSets | list[list[FaultRecord]],
     config: AtpgConfig | None = None,
     simulator: BatchSimulator | None = None,
+    justifier: "Justifier | None" = None,
 ) -> EnrichmentReport | GenerationResult:
     """Run test enrichment.
 
@@ -87,7 +89,7 @@ def generate_enriched(
     subsets, returning the raw :class:`GenerationResult`; primaries are
     drawn from the first pool only).
     """
-    generator = TestGenerator(netlist, config, simulator)
+    generator = TestGenerator(netlist, config, simulator, justifier)
     if isinstance(targets, TargetSets):
         result = generator.generate([targets.p0, targets.p1])
         return EnrichmentReport(result=result, targets=targets)

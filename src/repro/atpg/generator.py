@@ -141,11 +141,12 @@ class TestGenerator:
         netlist: Netlist,
         config: AtpgConfig | None = None,
         simulator: BatchSimulator | None = None,
+        justifier: Justifier | None = None,
     ) -> None:
         self.netlist = netlist
         self.config = config or AtpgConfig()
         self.simulator = simulator or BatchSimulator(netlist)
-        self.justifier = Justifier(netlist, self.simulator)
+        self.justifier = justifier or Justifier(netlist, self.simulator)
         self._bnb = None
         if self.config.engine == "bnb":
             from .bnb import BranchAndBoundJustifier
@@ -375,7 +376,8 @@ def generate_basic(
     records: Sequence[FaultRecord],
     config: AtpgConfig | None = None,
     simulator: BatchSimulator | None = None,
+    justifier: Justifier | None = None,
 ) -> GenerationResult:
     """Basic test generation for a single target set (Section 2)."""
-    generator = TestGenerator(netlist, config, simulator)
+    generator = TestGenerator(netlist, config, simulator, justifier)
     return generator.generate([records])

@@ -122,9 +122,19 @@ class _SearchState:
 class Justifier:
     """Reusable justification engine bound to one netlist."""
 
-    def __init__(self, netlist: Netlist, simulator: BatchSimulator | None = None) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        simulator: BatchSimulator | None = None,
+        stats=None,
+    ) -> None:
+        """``stats`` is an optional EngineStats-compatible sink (``count``
+        + ``timer``); when set, each :meth:`justify` call records
+        ``justify.calls`` and accumulates wall-clock time under
+        ``justify``."""
         self.netlist = netlist
         self.simulator = simulator or BatchSimulator(netlist)
+        self._stats = stats
         self._pi_row = {pi: row for row, pi in enumerate(netlist.input_indices)}
         self._n_pis = len(netlist.input_indices)
         self._support_cache: dict[frozenset[int], list[int]] = {}
@@ -216,6 +226,17 @@ class Justifier:
 
         Returns ``None`` when the (incomplete, randomized) search fails.
         """
+        if self._stats is not None:
+            self._stats.count("justify.calls")
+            with self._stats.timer("justify"):
+                return self._justify(requirements, rng)
+        return self._justify(requirements, rng)
+
+    def _justify(
+        self,
+        requirements: RequirementSet,
+        rng: random.Random,
+    ) -> JustifyResult | None:
         stats = JustifyStats()
         state = _SearchState(self._support(requirements))
         covered = False

@@ -8,6 +8,10 @@ Subcommands:
 * ``atpg``      -- basic test generation (Section 2) for P0.
 * ``enrich``    -- test enrichment with P0 and P1 (Section 3).
 * ``tables``    -- regenerate the paper's Tables 1-7.
+
+One :class:`repro.engine.Engine` backs each invocation, so every stage of a
+subcommand (and every circuit of a ``tables`` sweep) shares the per-circuit
+artifact caches; ``--stats`` prints its counters and timers to stderr.
 """
 
 from __future__ import annotations
@@ -16,8 +20,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from .api import basic_atpg_circuit, enrich_circuit, prepare_targets, resolve_circuit
+from .api import basic_atpg_circuit, enrich_circuit
 from .circuit import analyze, available_circuits, load_bench, validate
+from .engine import CircuitSession, Engine
 from .experiments import (
     SCALES,
     TABLE3_CIRCUITS,
@@ -28,22 +33,27 @@ from .experiments import (
 __all__ = ["main"]
 
 
-def _load(name_or_path: str):
-    """Resolve a registry name or a .bench file path to a netlist."""
+def _session(name_or_path: str, engine: Engine) -> CircuitSession:
+    """Resolve a registry name or a .bench file path to an engine session."""
     if name_or_path.endswith(".bench") or "/" in name_or_path:
         netlist, _ = load_bench(Path(name_or_path))
-        return netlist
-    return resolve_circuit(name_or_path)
+        return engine.session(netlist)
+    return engine.session(name_or_path)
 
 
-def _cmd_circuits(_args) -> int:
+def _cmd_circuits(_args, engine: Engine) -> int:
     for name in available_circuits():
-        print(analyze(resolve_circuit(name)))
+        print(analyze(engine.session(name).netlist))
     return 0
 
 
-def _cmd_stats(args) -> int:
-    netlist = _load(args.circuit)
+def _cmd_stats(args, engine: Engine) -> int:
+    # Statistics describe the netlist as parsed (no PDF-ready transform),
+    # so .bench files report their raw structure; no session needed.
+    if args.circuit.endswith(".bench") or "/" in args.circuit:
+        netlist, _ = load_bench(Path(args.circuit))
+    else:
+        netlist = engine.session(args.circuit).netlist
     print(analyze(netlist))
     issues = validate(netlist)
     for issue in issues:
@@ -51,10 +61,9 @@ def _cmd_stats(args) -> int:
     return 0 if not any(i.severity == "error" for i in issues) else 1
 
 
-def _cmd_enumerate(args) -> int:
-    netlist = _load(args.circuit)
-    targets = prepare_targets(
-        netlist,
+def _cmd_enumerate(args, engine: Engine) -> int:
+    session = _session(args.circuit, engine)
+    targets = session.target_sets(
         max_faults=args.max_faults,
         p0_min_faults=args.p0_min_faults,
         filter_implications=not args.no_implications,
@@ -64,39 +73,42 @@ def _cmd_enumerate(args) -> int:
     return 0
 
 
-def _cmd_atpg(args) -> int:
-    netlist = _load(args.circuit)
+def _cmd_atpg(args, engine: Engine) -> int:
+    session = _session(args.circuit, engine)
     result = basic_atpg_circuit(
-        netlist,
+        session.netlist,
         heuristic=args.heuristic,
         max_faults=args.max_faults,
         p0_min_faults=args.p0_min_faults,
         seed=args.seed,
         mode=args.mode,
         max_secondary_attempts=args.budget,
+        session=session,
     )
     print(result.summary())
     if args.show_tests:
         for generated in result.tests:
-            first, second = generated.test.patterns(netlist)
+            first, second = generated.test.patterns(session.netlist)
             print(f"  {first} -> {second}  (+{generated.num_detected} faults)")
     return 0
 
 
-def _cmd_enrich(args) -> int:
+def _cmd_enrich(args, engine: Engine) -> int:
+    session = _session(args.circuit, engine)
     report = enrich_circuit(
-        _load(args.circuit),
+        session.netlist,
         max_faults=args.max_faults,
         p0_min_faults=args.p0_min_faults,
         seed=args.seed,
         mode=args.mode,
         max_secondary_attempts=args.budget,
+        session=session,
     )
     print(report.summary())
     return 0
 
 
-def _cmd_tables(args) -> int:
+def _cmd_tables(args, engine: Engine) -> int:
     if args.from_json:
         from .experiments import ExperimentResults
 
@@ -115,7 +127,9 @@ def _cmd_tables(args) -> int:
             )
         circuits = TABLE3_CIRCUITS if not args.quick else TABLE3_CIRCUITS[:1]
         table6 = TABLE6_CIRCUITS if not args.quick else TABLE6_CIRCUITS[:1]
-        results = run_all(scale, circuits=circuits, table6_circuits=table6)
+        results = run_all(
+            scale, circuits=circuits, table6_circuits=table6, engine=engine
+        )
     if args.out:
         Path(args.out).write_text(results.to_json())
         print(f"wrote {args.out}", file=sys.stderr)
@@ -128,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-pdf",
         description="Path delay fault ATPG with test enrichment "
         "(Pomeranz & Reddy, DATE 2002).",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache/instrumentation counters to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -200,7 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    engine = Engine()
+    code = args.func(args, engine)
+    if args.stats:
+        print(engine.stats.format(), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

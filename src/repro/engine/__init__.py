@@ -1,0 +1,13 @@
+"""Engine layer: per-circuit sessions, artifact caches, instrumentation.
+
+See DESIGN.md, "Architecture: engine layer".  The short version: construct
+one :class:`CircuitSession` per circuit (or one :class:`Engine` per
+process/invocation) and route every pipeline stage through it; expensive
+artifacts -- path enumerations, target sets, compiled simulators, the
+justifier -- are then built exactly once and shared.
+"""
+
+from .session import CircuitSession, Engine
+from .stats import EngineStats
+
+__all__ = ["CircuitSession", "Engine", "EngineStats"]

@@ -1,0 +1,236 @@
+"""Per-circuit engine sessions with artifact caching.
+
+Every entry point used to rebuild the expensive per-circuit artifacts from
+scratch: the compiled :class:`~repro.sim.batch.BatchSimulator`, the
+:class:`~repro.atpg.justify.Justifier`, per-population fault simulators and
+the enumerated target sets.  A :class:`CircuitSession` owns all of them
+behind memoizing accessors, so any number of generation runs, table
+experiments or fault simulations against one circuit share one enumeration
+and one compiled simulator.
+
+An :class:`Engine` pools sessions across circuits (one per netlist) behind
+a single shared :class:`~repro.engine.stats.EngineStats`, which is what the
+CLI and the table drivers use for whole-invocation instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..atpg.enrich import generate_enriched
+from ..atpg.generator import AtpgConfig, generate_basic
+from ..atpg.justify import Justifier, has_implication_conflict
+from ..atpg.requirements import RequirementSet
+from ..circuit.library import load_circuit
+from ..circuit.netlist import Netlist
+from ..circuit.transform import pdf_ready
+from ..faults.conditions import Mode
+from ..faults.universe import FaultRecord, TargetSets, build_target_sets
+from ..sim.batch import BatchSimulator
+from ..sim.faultsim import FaultSimulator
+from .stats import EngineStats
+
+if TYPE_CHECKING:
+    from ..atpg.enrich import EnrichmentReport
+    from ..atpg.result import GenerationResult
+    from ..paths.enumerate import EnumerationResult
+
+__all__ = ["CircuitSession", "Engine"]
+
+
+class CircuitSession:
+    """All derived artifacts of one PDF-ready netlist, built once.
+
+    Accessors are memoized: repeated calls with the same key return the
+    *same object* and record a cache hit in :attr:`stats`.  The session is
+    the unit of reuse -- pass one session through ``api``/``cli``/
+    ``experiments`` calls and path enumeration, requirement compilation and
+    simulator construction happen exactly once per key.
+    """
+
+    def __init__(
+        self,
+        circuit: str | Netlist,
+        stats: EngineStats | None = None,
+        simulator: BatchSimulator | None = None,
+    ) -> None:
+        self.stats = stats if stats is not None else EngineStats()
+        netlist = load_circuit(circuit) if isinstance(circuit, str) else circuit
+        self.netlist = pdf_ready(netlist)
+        self._simulator = simulator
+        if simulator is not None and simulator.stats is None:
+            simulator.stats = self.stats
+        self._justifier: Justifier | None = None
+        self._enumerations: dict[tuple[int, bool], "EnumerationResult"] = {}
+        self._target_sets: dict[tuple[int, int, Mode, bool], TargetSets] = {}
+        self._fault_simulators: dict[tuple, FaultSimulator] = {}
+
+    # -- core artifacts ------------------------------------------------
+
+    @property
+    def simulator(self) -> BatchSimulator:
+        """The compiled batch simulator (compiled on first access)."""
+        if self._simulator is None:
+            self.stats.count("simulator.build")
+            with self.stats.timer("simulator.build"):
+                self._simulator = BatchSimulator(self.netlist, stats=self.stats)
+        return self._simulator
+
+    @property
+    def justifier(self) -> Justifier:
+        """The justification engine, bound to :attr:`simulator`."""
+        if self._justifier is None:
+            self.stats.count("justifier.build")
+            self._justifier = Justifier(
+                self.netlist, self.simulator, stats=self.stats
+            )
+        return self._justifier
+
+    def enumeration(
+        self, max_faults: int, use_distances: bool = True
+    ) -> "EnumerationResult":
+        """Bounded longest-path enumeration, cached per ``(cap, variant)``."""
+        from ..paths.enumerate import enumerate_paths
+
+        key = (max_faults, use_distances)
+        cached = self._enumerations.get(key)
+        if cached is not None:
+            self.stats.hit("enumerate")
+            return cached
+        self.stats.miss("enumerate")
+        with self.stats.timer("enumerate"):
+            result = enumerate_paths(
+                self.netlist, max_faults=max_faults, use_distances=use_distances
+            )
+        self._enumerations[key] = result
+        return result
+
+    def target_sets(
+        self,
+        max_faults: int = 10000,
+        p0_min_faults: int = 1000,
+        mode: Mode = "robust",
+        filter_implications: bool = True,
+    ) -> TargetSets:
+        """``P0`` / ``P1`` construction, cached per full parameter key."""
+        key = (max_faults, p0_min_faults, mode, filter_implications)
+        cached = self._target_sets.get(key)
+        if cached is not None:
+            self.stats.hit("target_sets")
+            return cached
+        self.stats.miss("target_sets")
+        implication_filter = None
+        if filter_implications:
+            justifier = self.justifier
+
+            def implication_filter(record: FaultRecord) -> bool:
+                requirements = RequirementSet(record.sens.requirements)
+                return not has_implication_conflict(justifier, requirements)
+
+        enumeration = self.enumeration(max_faults)
+        with self.stats.timer("target_sets"):
+            targets = build_target_sets(
+                self.netlist,
+                max_faults=max_faults,
+                p0_min_faults=p0_min_faults,
+                mode=mode,
+                implication_filter=implication_filter,
+                enumeration=enumeration,
+            )
+        self._target_sets[key] = targets
+        return targets
+
+    def fault_simulator(self, records: Sequence[FaultRecord]) -> FaultSimulator:
+        """A fault simulator for ``records``, cached per fault population.
+
+        The key is the ordered tuple of fault identities, so two record
+        lists describing the same population share one set of compiled
+        requirement matrices.
+        """
+        records = list(records)
+        key = tuple(record.fault.key() for record in records)
+        cached = self._fault_simulators.get(key)
+        if cached is not None:
+            self.stats.hit("fault_simulator")
+            return cached
+        self.stats.miss("fault_simulator")
+        with self.stats.timer("fault_simulator"):
+            simulator = FaultSimulator(
+                self.netlist, records, simulator=self.simulator
+            )
+        self._fault_simulators[key] = simulator
+        return simulator
+
+    # -- generation front ends -----------------------------------------
+
+    def generate_basic(
+        self, records: Sequence[FaultRecord], config: AtpgConfig | None = None
+    ) -> "GenerationResult":
+        """Basic test generation reusing the session's simulator/justifier."""
+        with self.stats.timer("generate"):
+            return generate_basic(
+                self.netlist,
+                records,
+                config,
+                simulator=self.simulator,
+                justifier=self.justifier,
+            )
+
+    def generate_enriched(
+        self,
+        targets: TargetSets | list[list[FaultRecord]],
+        config: AtpgConfig | None = None,
+    ) -> "EnrichmentReport | GenerationResult":
+        """Test enrichment reusing the session's simulator/justifier."""
+        with self.stats.timer("generate"):
+            return generate_enriched(
+                self.netlist,
+                targets,
+                config,
+                simulator=self.simulator,
+                justifier=self.justifier,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitSession({self.netlist.name!r}, "
+            f"{len(self._target_sets)} target sets, "
+            f"{len(self._fault_simulators)} fault simulators)"
+        )
+
+
+class Engine:
+    """A pool of :class:`CircuitSession` objects sharing one stats sink.
+
+    One engine per CLI invocation / experiment sweep: ``session(circuit)``
+    returns the existing session for a circuit when there is one, so every
+    stage of a multi-circuit run reuses the per-circuit artifacts.
+    """
+
+    def __init__(self, stats: EngineStats | None = None) -> None:
+        self.stats = stats if stats is not None else EngineStats()
+        self._by_name: dict[str, CircuitSession] = {}
+        self._by_identity: dict[int, CircuitSession] = {}
+
+    def session(self, circuit: str | Netlist) -> CircuitSession:
+        """Get-or-create the session for a registry name or netlist."""
+        if isinstance(circuit, str):
+            session = self._by_name.get(circuit)
+            if session is None:
+                session = CircuitSession(circuit, stats=self.stats)
+                self._by_name[circuit] = session
+            return session
+        # Netlist objects are pooled by identity; the session keeps the
+        # netlist alive, so ids cannot be recycled while pooled.
+        session = self._by_identity.get(id(circuit))
+        if session is None:
+            session = CircuitSession(circuit, stats=self.stats)
+            self._by_identity[id(circuit)] = session
+        return session
+
+    def sessions(self) -> list[CircuitSession]:
+        """Every pooled session (creation order)."""
+        return list(self._by_name.values()) + list(self._by_identity.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine({len(self._by_name) + len(self._by_identity)} sessions)"

@@ -1,0 +1,114 @@
+"""Instrumentation for the engine layer.
+
+:class:`EngineStats` is a light counters-plus-timers sink shared by every
+artifact a :class:`~repro.engine.session.CircuitSession` builds.  Lower
+layers (``sim.batch``, ``atpg.justify``) accept it duck-typed -- anything
+with ``count(name, n)`` and ``timer(name)`` works -- so they stay free of
+engine imports.
+
+Counter naming convention:
+
+* ``<cache>.hit`` / ``<cache>.miss`` -- memoized-accessor outcomes
+  (``enumerate``, ``target_sets``, ``fault_simulator``);
+* ``batch.runs`` / ``batch.columns`` -- batch simulations and their total
+  column count;
+* ``justify.calls`` -- justification attempts;
+* ``simulator.build`` / ``justifier.build`` -- artifact constructions.
+
+Timers accumulate wall-clock seconds under the same names (``enumerate``,
+``target_sets``, ``justify``, ``generate``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["EngineStats"]
+
+
+class EngineStats:
+    """Counters and wall-clock timers for one engine or session."""
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self.timers: dict[str, float] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] += n
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def hit(self, cache: str) -> None:
+        """Record a cache hit for ``cache``."""
+        self.count(f"{cache}.hit")
+
+    def miss(self, cache: str) -> None:
+        """Record a cache miss for ``cache``."""
+        self.count(f"{cache}.miss")
+
+    def hits(self, cache: str) -> int:
+        return self.counter(f"{cache}.hit")
+
+    def misses(self, cache: str) -> int:
+        return self.counter(f"{cache}.miss")
+
+    # -- timers --------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock time under ``name``."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into ``timers[name]``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    # -- reporting -----------------------------------------------------
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another stats object into this one."""
+        self.counters.update(other.counters)
+        for name, seconds in other.timers.items():
+            self.add_time(name, seconds)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (stable for JSON serialization and tests)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": dict(sorted(self.timers.items())),
+        }
+
+    def format(self) -> str:
+        """Readable report for ``repro-pdf --stats``."""
+        lines = ["engine stats"]
+        if self.counters:
+            lines.append("  counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"    {name:<{width}}  {self.counters[name]}")
+        if self.timers:
+            lines.append("  timers (s):")
+            width = max(len(name) for name in self.timers)
+            for name in sorted(self.timers):
+                lines.append(f"    {name:<{width}}  {self.timers[name]:.3f}")
+        if len(lines) == 1:
+            lines.append("  (no activity recorded)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EngineStats({sum(self.counters.values())} events, "
+            f"{len(self.timers)} timers)"
+        )

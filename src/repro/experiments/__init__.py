@@ -2,15 +2,7 @@
 
 from .coverage import LengthCoverage, coverage_by_length, format_coverage_profile
 from .estimate import CoverageEstimate, estimate_coverage
-from .report import render_table
-from .scale import SCALES, ExperimentScale, get_scale
-from .tables import (
-    CircuitBasicResult,
-    ExperimentResults,
-    HeuristicOutcome,
-    Table1Result,
-    Table2Result,
-    Table6Row,
+from .formatters import (
     format_table1,
     format_table2,
     format_table3,
@@ -18,6 +10,18 @@ from .tables import (
     format_table5,
     format_table6,
     format_table7,
+)
+from .report import render_table
+from .results import (
+    CircuitBasicResult,
+    ExperimentResults,
+    HeuristicOutcome,
+    Table1Result,
+    Table2Result,
+    Table6Row,
+)
+from .scale import SCALES, ExperimentScale, get_scale
+from .tables import (
     run_all,
     run_basic_experiments,
     run_table1,

@@ -1,0 +1,148 @@
+"""Renderers that lay the measured data out in the paper's table formats.
+
+Pure functions from the result dataclasses of
+:mod:`repro.experiments.results` to text; no computation happens here, so
+cached JSON results render identically to fresh runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .report import render_table
+from .results import CircuitBasicResult, Table1Result, Table2Result, Table6Row
+from .workloads import HEURISTICS
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+    "format_table6",
+    "format_table7",
+]
+
+
+def format_table1(result: Table1Result) -> str:
+    rows = [
+        (" -> ".join(names), length)
+        for names, length in zip(result.kept_paths, result.kept_lengths)
+    ]
+    table = render_table(
+        ["path", "len"],
+        rows,
+        title=(
+            f"Table 1: {result.circuit} bounded enumeration "
+            f"(cap {result.cap_paths} paths; kept {len(rows)}, "
+            f"lengths {result.min_length}..{result.max_length}, "
+            f"pruned {result.pruned_complete} short complete paths)"
+        ),
+    )
+    return table
+
+
+def format_table2(result: Table2Result) -> str:
+    return render_table(
+        ["i", "L_i", "N_p(L_i)"],
+        result.rows,
+        title=f"Table 2: numbers of faults in {result.circuit}",
+    )
+
+
+def _basic_rows(results: Mapping[str, CircuitBasicResult], key):
+    rows = []
+    for name, entry in results.items():
+        rows.append(
+            [name, entry.i0]
+            + [key(entry, entry.outcomes[h]) for h in HEURISTICS if h in entry.outcomes]
+        )
+    return rows
+
+
+def format_table3(results: Mapping[str, CircuitBasicResult]) -> str:
+    rows = []
+    for name, entry in results.items():
+        rows.append(
+            [name, entry.i0, entry.p0_total]
+            + [entry.outcomes[h].detected_p0 for h in HEURISTICS if h in entry.outcomes]
+        )
+    return render_table(
+        ["circuit", "i0", "P0 flts", "uncomp", "arbit", "length", "values"],
+        rows,
+        title="Table 3: basic test generation using P0 (detected faults)",
+    )
+
+
+def format_table4(results: Mapping[str, CircuitBasicResult]) -> str:
+    rows = _basic_rows(results, lambda entry, outcome: outcome.tests)
+    return render_table(
+        ["circuit", "i0", "uncomp", "arbit", "length", "values"],
+        rows,
+        title="Table 4: basic test generation using P0 (numbers of tests)",
+    )
+
+
+def format_table5(results: Mapping[str, CircuitBasicResult]) -> str:
+    rows = []
+    for name, entry in results.items():
+        rows.append(
+            [name, entry.i0, entry.p01_total]
+            + [
+                entry.outcomes[h].detected_p01
+                for h in HEURISTICS
+                if h in entry.outcomes
+            ]
+        )
+    return render_table(
+        ["circuit", "i0", "P0,P1 flts", "uncomp", "arbit", "length", "values"],
+        rows,
+        title="Table 5: simulation of P0 u P1 (accidental detection)",
+    )
+
+
+def format_table6(rows: Sequence[Table6Row]) -> str:
+    return render_table(
+        [
+            "circuit",
+            "i0",
+            "P0 total",
+            "P0 detect",
+            "P0,P1 total",
+            "P0,P1 detect",
+            "tests",
+        ],
+        [
+            (
+                row.circuit,
+                row.i0,
+                row.p0_total,
+                row.p0_detected,
+                row.p01_total,
+                row.p01_detected,
+                row.tests,
+            )
+            for row in rows
+        ],
+        title="Table 6: results of test enrichment using P0 and P1",
+    )
+
+
+def format_table7(
+    basic: Mapping[str, CircuitBasicResult], enriched: Sequence[Table6Row]
+) -> str:
+    """Run-time ratio RT_enrich / RT_basic for the values heuristic."""
+    enriched_by_name = {row.circuit: row for row in enriched}
+    rows = []
+    for name, entry in basic.items():
+        if name not in enriched_by_name or "values" not in entry.outcomes:
+            continue
+        basic_rt = entry.outcomes["values"].runtime_seconds
+        enrich_rt = enriched_by_name[name].runtime_seconds
+        ratio = enrich_rt / basic_rt if basic_rt > 0 else float("inf")
+        rows.append((name, entry.i0, f"{ratio:.2f}"))
+    return render_table(
+        ["circuit", "i0", "ratio"],
+        rows,
+        title="Table 7: run time ratios (enrich / basic, values heuristic)",
+    )

@@ -1,0 +1,156 @@
+"""Result containers for the paper's Tables 1-7.
+
+Plain dataclasses produced by the drivers in
+:mod:`repro.experiments.tables` and rendered by
+:mod:`repro.experiments.formatters`; :class:`ExperimentResults` bundles
+everything with JSON round-tripping for the benchmark harness and the
+``repro-pdf tables --from-json`` cache path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "Table1Result",
+    "Table2Result",
+    "HeuristicOutcome",
+    "CircuitBasicResult",
+    "Table6Row",
+    "ExperimentResults",
+]
+
+
+@dataclass
+class Table1Result:
+    """Outcome of the paper's s27 walk-through (N_P = 20 paths)."""
+
+    circuit: str
+    cap_paths: int
+    kept_paths: list[tuple[str, ...]]
+    kept_lengths: list[int]
+    pruned_complete: int
+    min_length: int
+    max_length: int
+
+
+@dataclass
+class Table2Result:
+    """L_i and N_p(L_i) rows for one circuit."""
+
+    circuit: str
+    rows: list[tuple[int, int, int]]  # (i, L_i, N_p(L_i))
+
+
+@dataclass
+class HeuristicOutcome:
+    """One basic-generation run (one circuit, one heuristic)."""
+
+    detected_p0: int
+    tests: int
+    detected_p01: int
+    runtime_seconds: float
+
+
+@dataclass
+class CircuitBasicResult:
+    """All four heuristic runs for one circuit."""
+
+    circuit: str
+    i0: int
+    p0_total: int
+    p01_total: int
+    outcomes: dict[str, HeuristicOutcome] = field(default_factory=dict)
+
+
+@dataclass
+class Table6Row:
+    """One circuit's enrichment outcome."""
+
+    circuit: str
+    i0: int
+    p0_total: int
+    p0_detected: int
+    p01_total: int
+    p01_detected: int
+    tests: int
+    runtime_seconds: float
+
+
+@dataclass
+class ExperimentResults:
+    """All measured data needed to print Tables 1-7."""
+
+    scale: str
+    table1: Table1Result
+    table2: Table2Result
+    basic: dict[str, CircuitBasicResult]
+    table6: list[Table6Row]
+
+    def format_all(self) -> str:
+        """Render every table, separated by blank lines."""
+        from .formatters import (
+            format_table1,
+            format_table2,
+            format_table3,
+            format_table4,
+            format_table5,
+            format_table6,
+            format_table7,
+        )
+
+        return "\n\n".join(
+            [
+                format_table1(self.table1),
+                format_table2(self.table2),
+                format_table3(self.basic),
+                format_table4(self.basic),
+                format_table5(self.basic),
+                format_table6(self.table6),
+                format_table7(self.basic, self.table6),
+            ]
+        )
+
+    def to_json(self) -> str:
+        """Serialize for caching (see ``from_json``)."""
+        payload = {
+            "scale": self.scale,
+            "table1": asdict(self.table1),
+            "table2": asdict(self.table2),
+            "basic": {k: asdict(v) for k, v in self.basic.items()},
+            "table6": [asdict(row) for row in self.table6],
+        }
+        return json.dumps(payload, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResults":
+        payload = json.loads(text)
+        table1 = Table1Result(**{
+            **payload["table1"],
+            "kept_paths": [tuple(p) for p in payload["table1"]["kept_paths"]],
+        })
+        table2 = Table2Result(
+            circuit=payload["table2"]["circuit"],
+            rows=[tuple(r) for r in payload["table2"]["rows"]],
+        )
+        basic = {}
+        for name, entry in payload["basic"].items():
+            outcomes = {
+                h: HeuristicOutcome(**o) for h, o in entry["outcomes"].items()
+            }
+            basic[name] = CircuitBasicResult(
+                circuit=entry["circuit"],
+                i0=entry["i0"],
+                p0_total=entry["p0_total"],
+                p01_total=entry["p01_total"],
+                outcomes=outcomes,
+            )
+        table6 = [Table6Row(**row) for row in payload["table6"]]
+        return cls(
+            scale=payload["scale"],
+            table1=table1,
+            table2=table2,
+            basic=basic,
+            table6=table6,
+        )

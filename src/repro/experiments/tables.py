@@ -1,9 +1,14 @@
 """Drivers that regenerate every table of the paper's evaluation.
 
-Each ``run_*`` function returns plain dataclasses; ``format_*`` renders the
-paper's layout.  ``run_all`` produces everything in one sweep, reusing the
-(expensive) target-set construction and basic-generation runs across
-Tables 3, 4, 5 and 7, exactly as the paper's experiments share them.
+Each ``run_*`` function returns the plain dataclasses of
+:mod:`repro.experiments.results`; the ``format_*`` renderers live in
+:mod:`repro.experiments.formatters` (both re-exported here for
+compatibility).  All drivers route through the engine layer: pass one
+:class:`repro.engine.Engine` and every table shares one
+:class:`~repro.engine.CircuitSession` per circuit, so path enumeration,
+target-set construction and simulator compilation happen exactly once per
+circuit across the whole sweep -- the same reuse the paper's experiments
+rely on.  ``run_all`` does this automatically.
 
 Mapping to the paper:
 
@@ -18,16 +23,30 @@ Mapping to the paper:
 
 from __future__ import annotations
 
-import json
-from dataclasses import asdict, dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
-from ..api import enrich_circuit, prepare_targets, resolve_circuit
-from ..atpg import AtpgConfig, generate_basic
-from ..paths.enumerate import enumerate_paths
+from ..atpg import AtpgConfig
+from ..atpg.enrich import EnrichmentReport
+from ..engine import Engine
+from ..faults.fault import faults_of_paths
 from ..paths.lengths import length_table_for_faults
-from ..sim.faultsim import FaultSimulator
-from .report import render_table
+from .formatters import (
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    format_table6,
+    format_table7,
+)
+from .results import (
+    CircuitBasicResult,
+    ExperimentResults,
+    HeuristicOutcome,
+    Table1Result,
+    Table2Result,
+    Table6Row,
+)
 from .scale import ExperimentScale, get_scale
 from .workloads import HEURISTICS, TABLE3_CIRCUITS, TABLE6_CIRCUITS
 
@@ -58,31 +77,22 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class Table1Result:
-    """Outcome of the paper's s27 walk-through (N_P = 20 paths)."""
-
-    circuit: str
-    cap_paths: int
-    kept_paths: list[tuple[str, ...]]
-    kept_lengths: list[int]
-    pruned_complete: int
-    min_length: int
-    max_length: int
-
-
-def run_table1(max_paths: int = 20, use_distances: bool = False) -> Table1Result:
+def run_table1(
+    max_paths: int = 20,
+    use_distances: bool = False,
+    engine: Engine | None = None,
+) -> Table1Result:
     """Reproduce the s27 enumeration of Section 3.1 / Table 1."""
-    netlist = resolve_circuit("s27")
-    result = enumerate_paths(
-        netlist,
-        max_faults=2 * max_paths,  # the example counts paths, not faults
+    session = (engine or Engine()).session("s27")
+    result = session.enumeration(
+        # the example counts paths, not faults
+        max_faults=2 * max_paths,
         use_distances=use_distances,
     )
     return Table1Result(
         circuit="s27",
         cap_paths=max_paths,
-        kept_paths=[path.names(netlist) for path in result.paths],
+        kept_paths=[path.names(session.netlist) for path in result.paths],
         kept_lengths=[path.length for path in result.paths],
         pruned_complete=result.pruned_complete,
         min_length=result.min_kept_length,
@@ -90,59 +100,24 @@ def run_table1(max_paths: int = 20, use_distances: bool = False) -> Table1Result
     )
 
 
-def format_table1(result: Table1Result) -> str:
-    rows = [
-        (" -> ".join(names), length)
-        for names, length in zip(result.kept_paths, result.kept_lengths)
-    ]
-    table = render_table(
-        ["path", "len"],
-        rows,
-        title=(
-            f"Table 1: {result.circuit} bounded enumeration "
-            f"(cap {result.cap_paths} paths; kept {len(rows)}, "
-            f"lengths {result.min_length}..{result.max_length}, "
-            f"pruned {result.pruned_complete} short complete paths)"
-        ),
-    )
-    return table
-
-
 # ----------------------------------------------------------------------
 # Table 2: length table
 # ----------------------------------------------------------------------
-
-
-@dataclass
-class Table2Result:
-    """L_i and N_p(L_i) rows for one circuit."""
-
-    circuit: str
-    rows: list[tuple[int, int, int]]  # (i, L_i, N_p(L_i))
 
 
 def run_table2(
     scale: str | ExperimentScale = "default",
     circuit: str = "s1423_proxy",
     max_rows: int = 20,
+    engine: Engine | None = None,
 ) -> Table2Result:
     """Length table of the enumerated fault population (paper's Table 2)."""
     scale = get_scale(scale)
-    netlist = resolve_circuit(circuit)
-    enumeration = enumerate_paths(netlist, max_faults=scale.max_faults)
-    from ..faults.fault import faults_of_paths
-
+    session = (engine or Engine()).session(circuit)
+    enumeration = session.enumeration(max_faults=scale.max_faults)
     table = length_table_for_faults(faults_of_paths(enumeration.paths))
     rows = [(row.index, row.length, row.cumulative) for row in table][:max_rows]
     return Table2Result(circuit=circuit, rows=rows)
-
-
-def format_table2(result: Table2Result) -> str:
-    return render_table(
-        ["i", "L_i", "N_p(L_i)"],
-        result.rows,
-        title=f"Table 2: numbers of faults in {result.circuit}",
-    )
 
 
 # ----------------------------------------------------------------------
@@ -150,48 +125,29 @@ def format_table2(result: Table2Result) -> str:
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class HeuristicOutcome:
-    """One basic-generation run (one circuit, one heuristic)."""
-
-    detected_p0: int
-    tests: int
-    detected_p01: int
-    runtime_seconds: float
-
-
-@dataclass
-class CircuitBasicResult:
-    """All four heuristic runs for one circuit."""
-
-    circuit: str
-    i0: int
-    p0_total: int
-    p01_total: int
-    outcomes: dict[str, HeuristicOutcome] = field(default_factory=dict)
-
-
 def run_basic_experiments(
     scale: str | ExperimentScale = "default",
     circuits: Sequence[str] = TABLE3_CIRCUITS,
     heuristics: Sequence[str] = HEURISTICS,
+    engine: Engine | None = None,
 ) -> dict[str, CircuitBasicResult]:
     """Run the basic procedure for every circuit x heuristic (Tables 3-5).
 
-    Target sets are built once per circuit and shared across heuristics;
-    Table 5's accidental-detection numbers come from fault-simulating each
-    run's test set against ``P0 u P1``.
+    Target sets are built once per circuit (once per *sweep* when the
+    caller shares an engine) and shared across heuristics; Table 5's
+    accidental-detection numbers come from fault-simulating each run's
+    test set against ``P0 u P1`` with the session-cached simulator.
     """
     scale = get_scale(scale)
+    engine = engine or Engine()
     results: dict[str, CircuitBasicResult] = {}
     for name in circuits:
-        netlist = resolve_circuit(name)
-        targets = prepare_targets(
-            netlist,
+        session = engine.session(name)
+        targets = session.target_sets(
             max_faults=scale.max_faults,
             p0_min_faults=scale.p0_min_faults,
         )
-        simulator = FaultSimulator(netlist, targets.all_records)
+        simulator = session.fault_simulator(targets.all_records)
         entry = CircuitBasicResult(
             circuit=name,
             i0=targets.i0,
@@ -204,7 +160,7 @@ def run_basic_experiments(
                 seed=scale.seed,
                 max_secondary_attempts=scale.max_secondary_attempts,
             )
-            run = generate_basic(netlist, targets.p0, config)
+            run = session.generate_basic(targets.p0, config)
             detected_p01, _ = simulator.coverage(run.test_vectors)
             entry.outcomes[heuristic] = HeuristicOutcome(
                 detected_p0=run.detected_by_pool[0],
@@ -216,91 +172,33 @@ def run_basic_experiments(
     return results
 
 
-def _basic_rows(results: Mapping[str, CircuitBasicResult], key):
-    rows = []
-    for name, entry in results.items():
-        rows.append(
-            [name, entry.i0]
-            + [key(entry, entry.outcomes[h]) for h in HEURISTICS if h in entry.outcomes]
-        )
-    return rows
-
-
-def format_table3(results: Mapping[str, CircuitBasicResult]) -> str:
-    rows = []
-    for name, entry in results.items():
-        rows.append(
-            [name, entry.i0, entry.p0_total]
-            + [entry.outcomes[h].detected_p0 for h in HEURISTICS if h in entry.outcomes]
-        )
-    return render_table(
-        ["circuit", "i0", "P0 flts", "uncomp", "arbit", "length", "values"],
-        rows,
-        title="Table 3: basic test generation using P0 (detected faults)",
-    )
-
-
-def format_table4(results: Mapping[str, CircuitBasicResult]) -> str:
-    rows = _basic_rows(results, lambda entry, outcome: outcome.tests)
-    return render_table(
-        ["circuit", "i0", "uncomp", "arbit", "length", "values"],
-        rows,
-        title="Table 4: basic test generation using P0 (numbers of tests)",
-    )
-
-
-def format_table5(results: Mapping[str, CircuitBasicResult]) -> str:
-    rows = []
-    for name, entry in results.items():
-        rows.append(
-            [name, entry.i0, entry.p01_total]
-            + [
-                entry.outcomes[h].detected_p01
-                for h in HEURISTICS
-                if h in entry.outcomes
-            ]
-        )
-    return render_table(
-        ["circuit", "i0", "P0,P1 flts", "uncomp", "arbit", "length", "values"],
-        rows,
-        title="Table 5: simulation of P0 u P1 (accidental detection)",
-    )
-
-
 # ----------------------------------------------------------------------
 # Table 6: enrichment
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class Table6Row:
-    """One circuit's enrichment outcome."""
-
-    circuit: str
-    i0: int
-    p0_total: int
-    p0_detected: int
-    p01_total: int
-    p01_detected: int
-    tests: int
-    runtime_seconds: float
-
-
 def run_table6(
     scale: str | ExperimentScale = "default",
     circuits: Sequence[str] = TABLE6_CIRCUITS,
+    engine: Engine | None = None,
 ) -> list[Table6Row]:
     """The proposed enrichment procedure on each circuit (Table 6)."""
     scale = get_scale(scale)
+    engine = engine or Engine()
     rows: list[Table6Row] = []
     for name in circuits:
-        report = enrich_circuit(
-            name,
+        session = engine.session(name)
+        targets = session.target_sets(
             max_faults=scale.max_faults,
             p0_min_faults=scale.p0_min_faults,
+        )
+        config = AtpgConfig(
+            heuristic="values",
             seed=scale.seed,
             max_secondary_attempts=scale.max_secondary_attempts,
         )
+        report = session.generate_enriched(targets, config)
+        assert isinstance(report, EnrichmentReport)
         rows.append(
             Table6Row(
                 circuit=name,
@@ -316,142 +214,30 @@ def run_table6(
     return rows
 
 
-def format_table6(rows: Sequence[Table6Row]) -> str:
-    return render_table(
-        [
-            "circuit",
-            "i0",
-            "P0 total",
-            "P0 detect",
-            "P0,P1 total",
-            "P0,P1 detect",
-            "tests",
-        ],
-        [
-            (
-                row.circuit,
-                row.i0,
-                row.p0_total,
-                row.p0_detected,
-                row.p01_total,
-                row.p01_detected,
-                row.tests,
-            )
-            for row in rows
-        ],
-        title="Table 6: results of test enrichment using P0 and P1",
-    )
-
-
 # ----------------------------------------------------------------------
-# Table 7: run-time ratios
+# Everything at once
 # ----------------------------------------------------------------------
-
-
-def format_table7(
-    basic: Mapping[str, CircuitBasicResult], enriched: Sequence[Table6Row]
-) -> str:
-    """Run-time ratio RT_enrich / RT_basic for the values heuristic."""
-    enriched_by_name = {row.circuit: row for row in enriched}
-    rows = []
-    for name, entry in basic.items():
-        if name not in enriched_by_name or "values" not in entry.outcomes:
-            continue
-        basic_rt = entry.outcomes["values"].runtime_seconds
-        enrich_rt = enriched_by_name[name].runtime_seconds
-        ratio = enrich_rt / basic_rt if basic_rt > 0 else float("inf")
-        rows.append((name, entry.i0, f"{ratio:.2f}"))
-    return render_table(
-        ["circuit", "i0", "ratio"],
-        rows,
-        title="Table 7: run time ratios (enrich / basic, values heuristic)",
-    )
-
-
-# ----------------------------------------------------------------------
-# Everything at once (with JSON caching for the benchmark harness)
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class ExperimentResults:
-    """All measured data needed to print Tables 1-7."""
-
-    scale: str
-    table1: Table1Result
-    table2: Table2Result
-    basic: dict[str, CircuitBasicResult]
-    table6: list[Table6Row]
-
-    def format_all(self) -> str:
-        """Render every table, separated by blank lines."""
-        return "\n\n".join(
-            [
-                format_table1(self.table1),
-                format_table2(self.table2),
-                format_table3(self.basic),
-                format_table4(self.basic),
-                format_table5(self.basic),
-                format_table6(self.table6),
-                format_table7(self.basic, self.table6),
-            ]
-        )
-
-    def to_json(self) -> str:
-        """Serialize for caching (see ``from_json``)."""
-        payload = {
-            "scale": self.scale,
-            "table1": asdict(self.table1),
-            "table2": asdict(self.table2),
-            "basic": {k: asdict(v) for k, v in self.basic.items()},
-            "table6": [asdict(row) for row in self.table6],
-        }
-        return json.dumps(payload, indent=1)
-
-    @classmethod
-    def from_json(cls, text: str) -> "ExperimentResults":
-        payload = json.loads(text)
-        table1 = Table1Result(**{
-            **payload["table1"],
-            "kept_paths": [tuple(p) for p in payload["table1"]["kept_paths"]],
-        })
-        table2 = Table2Result(
-            circuit=payload["table2"]["circuit"],
-            rows=[tuple(r) for r in payload["table2"]["rows"]],
-        )
-        basic = {}
-        for name, entry in payload["basic"].items():
-            outcomes = {
-                h: HeuristicOutcome(**o) for h, o in entry["outcomes"].items()
-            }
-            basic[name] = CircuitBasicResult(
-                circuit=entry["circuit"],
-                i0=entry["i0"],
-                p0_total=entry["p0_total"],
-                p01_total=entry["p01_total"],
-                outcomes=outcomes,
-            )
-        table6 = [Table6Row(**row) for row in payload["table6"]]
-        return cls(
-            scale=payload["scale"],
-            table1=table1,
-            table2=table2,
-            basic=basic,
-            table6=table6,
-        )
 
 
 def run_all(
     scale: str | ExperimentScale = "default",
     circuits: Sequence[str] = TABLE3_CIRCUITS,
     table6_circuits: Sequence[str] = TABLE6_CIRCUITS,
+    engine: Engine | None = None,
 ) -> ExperimentResults:
-    """Regenerate the data behind every table of the paper."""
+    """Regenerate the data behind every table of the paper.
+
+    One engine backs the whole sweep: Tables 3-5 and 6-7 share each
+    circuit's enumeration and target sets, and Table 2 reuses the
+    enumeration of its circuit when it also appears in ``circuits``.
+    """
     scale = get_scale(scale)
+    engine = engine or Engine()
+    basic = run_basic_experiments(scale, circuits, engine=engine)
     return ExperimentResults(
         scale=scale.name,
-        table1=run_table1(),
-        table2=run_table2(scale),
-        basic=run_basic_experiments(scale, circuits),
-        table6=run_table6(scale, table6_circuits),
+        table1=run_table1(engine=engine),
+        table2=run_table2(scale, engine=engine),
+        basic=basic,
+        table6=run_table6(scale, table6_circuits, engine=engine),
     )

@@ -96,6 +96,7 @@ def build_target_sets(
     mode: Mode = "robust",
     use_distances: bool = True,
     implication_filter: Callable[[FaultRecord], bool] | None = None,
+    enumeration: "EnumerationResult | None" = None,
 ) -> "TargetSets":
     """Construct ``P0`` and ``P1`` for a circuit.
 
@@ -104,14 +105,17 @@ def build_target_sets(
     ``implication_filter`` receives each surviving record and returns False
     for faults proven undetectable by implications (see
     :func:`repro.atpg.justify.has_implication_conflict` for the standard
-    choice).
+    choice).  A precomputed ``enumeration`` (e.g. from a
+    :class:`repro.engine.CircuitSession` cache) skips the path enumeration;
+    it must have been produced with the same ``max_faults`` cap.
     """
     from ..paths.enumerate import enumerate_paths
     from ..paths.lengths import length_table_for_faults
 
-    enumeration = enumerate_paths(
-        netlist, max_faults=max_faults, use_distances=use_distances
-    )
+    if enumeration is None:
+        enumeration = enumerate_paths(
+            netlist, max_faults=max_faults, use_distances=use_distances
+        )
 
     records: list[FaultRecord] = []
     dropped_conflict = 0

@@ -62,10 +62,15 @@ class BatchSimulator:
     and reuse (compilation walks the whole circuit).
     """
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, stats=None) -> None:
+        """``stats`` is an optional EngineStats-compatible sink (anything
+        with ``count(name, n)``); when set, every ``run_codes`` call records
+        ``batch.runs`` and ``batch.columns``."""
         self.netlist = netlist
+        self.stats = stats
         self.n_nodes = len(netlist)
         self.pi_index = np.array(netlist.input_indices, dtype=np.int64)
+        self._pi_pos = {int(node): row for row, node in enumerate(self.pi_index)}
         self._const0: list[int] = []
         self._const1: list[int] = []
         self._levels = self._compile()
@@ -121,6 +126,9 @@ class BatchSimulator:
             raise ValueError(
                 f"expected shape ({len(self.pi_index)}, 3, K), got {pi_codes.shape}"
             )
+        if self.stats is not None:
+            self.stats.count("batch.runs")
+            self.stats.count("batch.columns", k)
         vals = np.full((3, self.n_nodes, k), _ORDX, dtype=np.int8)
         ord_in = TO_ORD[pi_codes]  # (n_pis, 3, K)
         for position in range(3):
@@ -141,7 +149,7 @@ class BatchSimulator:
         """
         k = len(assignments)
         pi_codes = np.full((len(self.pi_index), 3, k), X, dtype=np.int8)
-        pi_pos = {int(node): row for row, node in enumerate(self.pi_index)}
+        pi_pos = self._pi_pos
         for column, assignment in enumerate(assignments):
             for node, triple in assignment.items():
                 row = pi_pos.get(node)

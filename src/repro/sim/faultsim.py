@@ -17,7 +17,8 @@ check per fault.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -27,7 +28,15 @@ from .batch import BatchSimulator
 from .cover import CompiledRequirements
 from .vectors import TwoPatternTest
 
-__all__ = ["FaultSimulator", "detection_matrix", "detected_count"]
+if TYPE_CHECKING:  # engine imports sim; keep the reverse edge type-only
+    from ..engine.session import CircuitSession
+
+__all__ = [
+    "FaultSimulator",
+    "shared_fault_simulator",
+    "detection_matrix",
+    "detected_count",
+]
 
 
 class FaultSimulator:
@@ -77,20 +86,59 @@ class FaultSimulator:
         return int(mask.sum()), len(self.records)
 
 
+# Small module-level cache so back-to-back one-shot calls on the same
+# (netlist, records) share one FaultSimulator instead of recompiling the
+# requirement matrices.  Keys are object identities; each entry keeps the
+# netlist and records alive, so ids cannot be recycled while cached.
+_SHARED_MAX = 8
+_shared: "OrderedDict[tuple, tuple[Netlist, tuple, FaultSimulator]]" = OrderedDict()
+
+
+def shared_fault_simulator(
+    netlist: Netlist,
+    records: Sequence[FaultRecord],
+    sim: "FaultSimulator | CircuitSession | None" = None,
+) -> FaultSimulator:
+    """Resolve the fault simulator the one-shot wrappers should use.
+
+    ``sim`` may be an explicit :class:`FaultSimulator`, anything with a
+    session-style ``fault_simulator(records)`` accessor (e.g.
+    :class:`repro.engine.CircuitSession`), or ``None`` to fall back to the
+    bounded module-level cache.
+    """
+    if isinstance(sim, FaultSimulator):
+        return sim
+    if sim is not None:
+        return sim.fault_simulator(records)
+    records = list(records)
+    key = (id(netlist), tuple(map(id, records)))
+    entry = _shared.get(key)
+    if entry is not None:
+        _shared.move_to_end(key)
+        return entry[2]
+    simulator = FaultSimulator(netlist, records)
+    _shared[key] = (netlist, tuple(records), simulator)
+    while len(_shared) > _SHARED_MAX:
+        _shared.popitem(last=False)
+    return simulator
+
+
 def detection_matrix(
     netlist: Netlist,
     records: Sequence[FaultRecord],
     tests: Sequence[TwoPatternTest],
+    sim: "FaultSimulator | CircuitSession | None" = None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`FaultSimulator`."""
-    return FaultSimulator(netlist, records).detection_matrix(tests)
+    return shared_fault_simulator(netlist, records, sim).detection_matrix(tests)
 
 
 def detected_count(
     netlist: Netlist,
     records: Sequence[FaultRecord],
     tests: Sequence[TwoPatternTest],
+    sim: "FaultSimulator | CircuitSession | None" = None,
 ) -> int:
     """Number of ``records`` detected by ``tests``."""
-    simulator = FaultSimulator(netlist, records)
+    simulator = shared_fault_simulator(netlist, records, sim)
     return int(simulator.detected_mask(tests).sum())

@@ -1,0 +1,280 @@
+"""Tests for the CircuitSession/Engine layer: cache-hit semantics,
+cross-entry-point reuse, and EngineStats counter correctness."""
+
+import pytest
+
+from repro.api import basic_atpg_circuit, enrich_circuit, prepare_targets
+from repro.engine import CircuitSession, Engine, EngineStats
+from repro.experiments import ExperimentScale, run_basic_experiments, run_table6
+from repro.sim import FaultSimulator, detected_count, detection_matrix
+
+TINY = ExperimentScale(
+    name="tiny", max_faults=120, p0_min_faults=30, max_secondary_attempts=4, seed=1
+)
+
+
+class TestArtifactMemoization:
+    def test_simulator_is_memoized(self):
+        session = CircuitSession("c17")
+        assert session.simulator is session.simulator
+        assert session.stats.counter("simulator.build") == 1
+
+    def test_justifier_is_memoized_and_shares_simulator(self):
+        session = CircuitSession("c17")
+        justifier = session.justifier
+        assert justifier is session.justifier
+        assert justifier.simulator is session.simulator
+        assert session.stats.counter("justifier.build") == 1
+
+    def test_enumeration_cache_same_key_same_object(self):
+        session = CircuitSession("s27")
+        first = session.enumeration(100)
+        assert session.enumeration(100) is first
+        assert session.stats.misses("enumerate") == 1
+        assert session.stats.hits("enumerate") == 1
+
+    def test_enumeration_cache_key_includes_variant(self):
+        session = CircuitSession("s27")
+        with_distances = session.enumeration(40, use_distances=True)
+        without = session.enumeration(40, use_distances=False)
+        assert with_distances is not without
+        assert session.stats.misses("enumerate") == 2
+
+    def test_target_sets_same_key_same_object(self, s27):
+        session = CircuitSession(s27)
+        first = session.target_sets(max_faults=100, p0_min_faults=20)
+        second = session.target_sets(max_faults=100, p0_min_faults=20)
+        assert first is second
+        assert session.stats.misses("target_sets") == 1
+        assert session.stats.hits("target_sets") == 1
+        # The single path enumeration backs both calls.
+        assert session.stats.misses("enumerate") == 1
+
+    def test_target_sets_different_key_is_miss(self, s27):
+        session = CircuitSession(s27)
+        base = session.target_sets(max_faults=100, p0_min_faults=20)
+        other = session.target_sets(
+            max_faults=100, p0_min_faults=20, filter_implications=False
+        )
+        assert base is not other
+        assert session.stats.misses("target_sets") == 2
+        # Same enumeration cap: the second build reuses the cached paths.
+        assert session.stats.misses("enumerate") == 1
+        assert session.stats.hits("enumerate") == 1
+
+    def test_fault_simulator_keyed_by_population(self, s27):
+        session = CircuitSession(s27)
+        targets = session.target_sets(max_faults=100, p0_min_faults=20)
+        all_sim = session.fault_simulator(targets.all_records)
+        assert session.fault_simulator(targets.all_records) is all_sim
+        # An equal list (different object) still hits: keys are fault
+        # identities, not list identity.
+        assert session.fault_simulator(list(targets.all_records)) is all_sim
+        p0_sim = session.fault_simulator(targets.p0)
+        assert p0_sim is not all_sim
+        assert session.stats.misses("fault_simulator") == 2
+        assert session.stats.hits("fault_simulator") == 2
+
+    def test_matches_uncached_pipeline(self, s27):
+        """The session-built artifacts equal the historical direct path."""
+        from repro.faults import build_target_sets
+
+        session = CircuitSession(s27)
+        cached = session.target_sets(
+            max_faults=100, p0_min_faults=20, filter_implications=False
+        )
+        direct = build_target_sets(s27, max_faults=100, p0_min_faults=20)
+        assert [r.fault.key() for r in cached.all_records] == [
+            r.fault.key() for r in direct.all_records
+        ]
+        assert cached.i0 == direct.i0
+
+
+class TestStatsCorrectness:
+    def test_batch_and_justify_counters_on_c17(self):
+        session = CircuitSession("c17")
+        targets = session.target_sets(max_faults=50, p0_min_faults=5)
+        result = session.generate_basic(targets.p0)
+        assert result.num_tests > 0
+        # Every recorded justification ran at least one batch simulation,
+        # and the implication filter simulates too.
+        assert session.stats.counter("justify.calls") > 0
+        assert (
+            session.stats.counter("batch.runs")
+            >= session.stats.counter("justify.calls")
+        )
+        assert (
+            session.stats.counter("batch.columns")
+            >= session.stats.counter("batch.runs")
+        )
+        assert session.stats.timers["generate"] > 0
+        assert session.stats.timers["justify"] >= 0
+
+    def test_generation_reuses_compiled_simulator(self, s27):
+        session = CircuitSession(s27)
+        targets = session.target_sets(max_faults=100, p0_min_faults=20)
+        session.generate_basic(targets.p0)
+        session.generate_enriched(targets)
+        assert session.stats.counter("simulator.build") == 1
+        assert session.stats.counter("justifier.build") == 1
+
+
+class TestApiSessionReuse:
+    def test_api_calls_share_one_enumeration(self, s27):
+        """api entry points accept a session and reuse its artifacts."""
+        session = CircuitSession(s27)
+        targets = prepare_targets(
+            s27, max_faults=100, p0_min_faults=20, session=session
+        )
+        result = basic_atpg_circuit(
+            s27, max_faults=100, p0_min_faults=20, seed=2, session=session
+        )
+        report = enrich_circuit(
+            s27, max_faults=100, p0_min_faults=20, seed=2, session=session
+        )
+        assert result.num_tests > 0 and report.num_tests > 0
+        assert targets is session.target_sets(max_faults=100, p0_min_faults=20)
+        assert session.stats.misses("enumerate") == 1
+        assert session.stats.misses("target_sets") == 1
+        assert session.stats.hits("target_sets") >= 2
+
+    def test_api_without_session_unchanged(self, s27):
+        """Old signatures keep working with no session argument."""
+        targets = prepare_targets(s27, max_faults=100, p0_min_faults=20)
+        result = basic_atpg_circuit(
+            s27, max_faults=100, p0_min_faults=20, seed=2, targets=targets
+        )
+        assert result.num_tests > 0
+
+    def test_api_results_identical_with_and_without_session(self, s27):
+        session = CircuitSession(s27)
+        with_session = basic_atpg_circuit(
+            s27, max_faults=100, p0_min_faults=20, seed=3, session=session
+        )
+        without = basic_atpg_circuit(s27, max_faults=100, p0_min_faults=20, seed=3)
+        assert with_session.num_tests == without.num_tests
+        assert [t.test.assignment for t in with_session.tests] == [
+            t.test.assignment for t in without.tests
+        ]
+
+
+class TestEnginePool:
+    def test_sessions_pooled_by_name(self):
+        engine = Engine()
+        assert engine.session("s27") is engine.session("s27")
+        assert engine.session("c17") is not engine.session("s27")
+        assert len(engine.sessions()) == 2
+
+    def test_sessions_pooled_by_netlist_identity(self, s27):
+        engine = Engine()
+        assert engine.session(s27) is engine.session(s27)
+
+    def test_sessions_share_engine_stats(self):
+        stats = EngineStats()
+        engine = Engine(stats=stats)
+        assert engine.session("s27").stats is stats
+        assert engine.session("c17").stats is stats
+
+
+class TestCrossExperimentReuse:
+    def test_two_table_experiments_enumerate_once(self):
+        """Acceptance criterion: basic tables + enrichment against one
+        engine perform path enumeration exactly once per circuit."""
+        engine = Engine()
+        basic = run_basic_experiments(TINY, circuits=("s27",), engine=engine)
+        table6 = run_table6(TINY, circuits=("s27",), engine=engine)
+        assert basic["s27"].outcomes and table6[0].tests > 0
+        assert engine.stats.misses("enumerate") == 1
+        assert engine.stats.misses("target_sets") == 1
+        assert engine.stats.hits("target_sets") == 1
+
+    def test_heuristics_share_one_enumeration(self):
+        engine = Engine()
+        run_basic_experiments(
+            TINY, circuits=("s27",), heuristics=("uncomp", "values"), engine=engine
+        )
+        assert engine.stats.misses("enumerate") == 1
+
+    def test_results_match_engineless_runs(self):
+        shared = Engine()
+        with_engine = run_basic_experiments(
+            TINY, circuits=("s27",), heuristics=("values",), engine=shared
+        )
+        without = run_basic_experiments(
+            TINY, circuits=("s27",), heuristics=("values",)
+        )
+        a = with_engine["s27"].outcomes["values"]
+        b = without["s27"].outcomes["values"]
+        assert (a.detected_p0, a.tests, a.detected_p01) == (
+            b.detected_p0,
+            b.tests,
+            b.detected_p01,
+        )
+
+
+class TestOneShotWrappers:
+    def test_wrappers_share_one_fault_simulator(self, s27, monkeypatch):
+        """detection_matrix + detected_count on the same population build
+        the FaultSimulator once (module-level sharing)."""
+        import repro.sim.faultsim as faultsim
+
+        targets = prepare_targets(s27, max_faults=100, p0_min_faults=20)
+        records = targets.all_records
+        built = []
+        original = faultsim.FaultSimulator.__init__
+
+        def counting(self, *args, **kwargs):
+            built.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(faultsim.FaultSimulator, "__init__", counting)
+        monkeypatch.setattr(faultsim, "_shared", type(faultsim._shared)())
+        matrix = detection_matrix(s27, records, [])
+        count = detected_count(s27, records, [])
+        assert matrix.shape == (len(records), 0)
+        assert count == 0
+        assert len(built) == 1
+
+    def test_wrappers_accept_session(self, s27):
+        session = CircuitSession(s27)
+        targets = session.target_sets(max_faults=100, p0_min_faults=20)
+        records = targets.all_records
+        detection_matrix(s27, records, [], sim=session)
+        detected_count(s27, records, [], sim=session)
+        assert session.stats.misses("fault_simulator") == 1
+        assert session.stats.hits("fault_simulator") == 1
+
+    def test_wrappers_accept_explicit_simulator(self, s27):
+        targets = prepare_targets(s27, max_faults=100, p0_min_faults=20)
+        records = targets.all_records
+        simulator = FaultSimulator(s27, records)
+        matrix = detection_matrix(s27, records, [], sim=simulator)
+        assert matrix.shape == (len(records), 0)
+
+
+class TestSessionConstruction:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            CircuitSession("does_not_exist")
+
+    def test_netlist_made_pdf_ready(self):
+        from repro.circuit import GateType, build_netlist
+
+        netlist = build_netlist(
+            "x",
+            inputs=["a", "b"],
+            gates=[("y", GateType.XOR, ["a", "b"])],
+            outputs=["y"],
+        )
+        session = CircuitSession(netlist)
+        assert session.netlist is not netlist
+        assert session.netlist.is_pdf_ready()
+
+    def test_preseeded_simulator_adopted(self, s27):
+        from repro.sim import BatchSimulator
+
+        simulator = BatchSimulator(s27)
+        session = CircuitSession(s27, simulator=simulator)
+        assert session.simulator is simulator
+        assert simulator.stats is session.stats
+        assert session.stats.counter("simulator.build") == 0

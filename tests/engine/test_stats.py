@@ -1,0 +1,75 @@
+"""Tests for the EngineStats instrumentation object."""
+
+from repro.engine import EngineStats
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        stats = EngineStats()
+        assert stats.counter("x") == 0
+        stats.count("x")
+        stats.count("x", 4)
+        assert stats.counter("x") == 5
+
+    def test_hit_miss_convention(self):
+        stats = EngineStats()
+        stats.miss("enumerate")
+        stats.hit("enumerate")
+        stats.hit("enumerate")
+        assert stats.hits("enumerate") == 2
+        assert stats.misses("enumerate") == 1
+        assert stats.counter("enumerate.hit") == 2
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        stats = EngineStats()
+        with stats.timer("work"):
+            pass
+        first = stats.timers["work"]
+        assert first >= 0.0
+        with stats.timer("work"):
+            pass
+        assert stats.timers["work"] >= first
+
+    def test_timer_records_on_exception(self):
+        stats = EngineStats()
+        try:
+            with stats.timer("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in stats.timers
+
+
+class TestReporting:
+    def test_merge(self):
+        a, b = EngineStats(), EngineStats()
+        a.count("x", 2)
+        b.count("x", 3)
+        b.count("y")
+        b.add_time("t", 1.5)
+        a.merge(b)
+        assert a.counter("x") == 5
+        assert a.counter("y") == 1
+        assert a.timers["t"] == 1.5
+
+    def test_snapshot_is_plain_and_sorted(self):
+        stats = EngineStats()
+        stats.count("b")
+        stats.count("a")
+        stats.add_time("t", 0.25)
+        snap = stats.snapshot()
+        assert snap == {"counters": {"a": 1, "b": 1}, "timers": {"t": 0.25}}
+        assert list(snap["counters"]) == ["a", "b"]
+
+    def test_format_empty(self):
+        assert "no activity" in EngineStats().format()
+
+    def test_format_lists_counters_and_timers(self):
+        stats = EngineStats()
+        stats.count("enumerate.miss")
+        stats.add_time("enumerate", 0.5)
+        text = stats.format()
+        assert "enumerate.miss" in text
+        assert "timers (s):" in text

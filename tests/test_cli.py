@@ -70,6 +70,29 @@ class TestCommands:
         assert code == 0
         assert "P0" in capsys.readouterr().out
 
+    def test_stats_flag_reports_engine_counters(self, capsys):
+        code = main(
+            [
+                "--stats",
+                "atpg",
+                "s27",
+                "--max-faults",
+                "100",
+                "--p0-min-faults",
+                "20",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "tests" in captured.out
+        assert "engine stats" in captured.err
+        assert "enumerate.miss" in captured.err
+        assert "justify.calls" in captured.err
+
+    def test_stats_flag_off_by_default(self, capsys):
+        assert main(["stats", "s27"]) == 0
+        assert "engine stats" not in capsys.readouterr().err
+
     def test_tables_quick_smoke_with_cache(self, tmp_path, capsys):
         out_path = tmp_path / "results.json"
         code = main(
