@@ -1,0 +1,58 @@
+"""Covering-kernel benchmarks: vectorized (stacked) vs scalar loop.
+
+``FaultSimulator.detection_matrix`` is the inner loop of every coverage
+number in Tables 3-7 and of n-detection style analyses that fault-simulate
+the same population many times.  These benches pin both kernels on the
+benchmark circuits so the speedup (and the agreement) stays visible.
+"""
+
+import numpy as np
+
+from repro.sim.faultsim import FaultSimulator
+
+
+def _simulator(engine, name, targets, vectorized):
+    session = engine.session(name)
+    return FaultSimulator(
+        session.netlist,
+        targets.all_records,
+        simulator=session.simulator,
+        vectorized=vectorized,
+    )
+
+
+def bench_detection_matrix_vectorized(
+    benchmark, engine, circuit_targets, run_cache
+):
+    name, targets = circuit_targets
+    tests = run_cache.basic(name, "values").test_vectors
+    simulator = _simulator(engine, name, targets, vectorized=True)
+    simulator.detection_matrix(tests)  # warm the batch simulator
+    matrix = benchmark(simulator.detection_matrix, tests)
+    assert matrix.shape == (len(targets.all_records), len(tests))
+
+
+def bench_detection_matrix_scalar(benchmark, engine, circuit_targets, run_cache):
+    name, targets = circuit_targets
+    tests = run_cache.basic(name, "values").test_vectors
+    simulator = _simulator(engine, name, targets, vectorized=False)
+    simulator.detection_matrix(tests)
+    matrix = benchmark(simulator.detection_matrix, tests)
+    assert matrix.shape == (len(targets.all_records), len(tests))
+
+
+def bench_kernels_agree(benchmark, engine, circuit_targets, run_cache):
+    """Equivalence doubles as a benchmark of one full round of each."""
+    name, targets = circuit_targets
+    tests = run_cache.basic(name, "values").test_vectors
+    vectorized = _simulator(engine, name, targets, vectorized=True)
+    scalar = _simulator(engine, name, targets, vectorized=False)
+
+    def both():
+        return (
+            vectorized.detection_matrix(tests),
+            scalar.detection_matrix(tests),
+        )
+
+    fast, slow = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert np.array_equal(fast, slow)

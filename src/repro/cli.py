@@ -128,7 +128,11 @@ def _cmd_tables(args, engine: Engine) -> int:
         circuits = TABLE3_CIRCUITS if not args.quick else TABLE3_CIRCUITS[:1]
         table6 = TABLE6_CIRCUITS if not args.quick else TABLE6_CIRCUITS[:1]
         results = run_all(
-            scale, circuits=circuits, table6_circuits=table6, engine=engine
+            scale,
+            circuits=circuits,
+            table6_circuits=table6,
+            engine=engine,
+            jobs=args.jobs,
         )
     if args.out:
         Path(args.out).write_text(results.to_json())
@@ -212,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tables.add_argument(
         "--p0-min-faults", type=int, default=None, help="override the scale's N_P0"
+    )
+    p_tables.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the per-circuit sweep "
+        "(default: all CPUs; 1 = in-process serial path)",
     )
     p_tables.set_defaults(func=_cmd_tables)
     return parser

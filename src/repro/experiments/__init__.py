@@ -23,10 +23,12 @@ from .results import (
 from .scale import SCALES, ExperimentScale, get_scale
 from .tables import (
     run_all,
+    run_basic_circuit,
     run_basic_experiments,
     run_table1,
     run_table2,
     run_table6,
+    run_table6_circuit,
 )
 from .workloads import (
     HEURISTICS,
@@ -41,7 +43,9 @@ __all__ = [
     "get_scale",
     "run_table1",
     "run_table2",
+    "run_basic_circuit",
     "run_basic_experiments",
+    "run_table6_circuit",
     "run_table6",
     "run_all",
     "format_table1",

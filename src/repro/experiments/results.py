@@ -123,6 +123,23 @@ class ExperimentResults:
         }
         return json.dumps(payload, indent=1)
 
+    def canonical_json(self) -> str:
+        """JSON with wall-clock fields zeroed.
+
+        Every field except the measured ``runtime_seconds`` values is a
+        deterministic function of ``(scale, circuits, seed)``; this is the
+        determinism contract the parallel runner is tested against:
+        ``run_all(..., jobs=N).canonical_json()`` is byte-identical for
+        every ``N``.
+        """
+        payload = json.loads(self.to_json())
+        for entry in payload["basic"].values():
+            for outcome in entry["outcomes"].values():
+                outcome["runtime_seconds"] = 0.0
+        for row in payload["table6"]:
+            row["runtime_seconds"] = 0.0
+        return json.dumps(payload, indent=1)
+
     @classmethod
     def from_json(cls, text: str) -> "ExperimentResults":
         payload = json.loads(text)

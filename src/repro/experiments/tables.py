@@ -27,8 +27,9 @@ from typing import Sequence
 
 from ..atpg import AtpgConfig
 from ..atpg.enrich import EnrichmentReport
-from ..engine import Engine
+from ..engine import CircuitSession, Engine
 from ..faults.fault import faults_of_paths
+from ..parallel import CircuitJob, ParallelRunner, resolve_jobs
 from ..paths.lengths import length_table_for_faults
 from .formatters import (
     format_table1,
@@ -59,7 +60,9 @@ __all__ = [
     "ExperimentResults",
     "run_table1",
     "run_table2",
+    "run_basic_circuit",
     "run_basic_experiments",
+    "run_table6_circuit",
     "run_table6",
     "run_all",
     "format_table1",
@@ -125,51 +128,76 @@ def run_table2(
 # ----------------------------------------------------------------------
 
 
+def run_basic_circuit(
+    session: CircuitSession,
+    scale: str | ExperimentScale = "default",
+    heuristics: Sequence[str] | None = None,
+) -> CircuitBasicResult:
+    """One circuit's basic runs across ``heuristics`` (Tables 3-5 unit).
+
+    This is the per-circuit body shared by the serial sweep below and
+    :mod:`repro.parallel`'s pool workers.  Target sets are built once per
+    circuit and shared across heuristics; Table 5's accidental-detection
+    numbers come from fault-simulating each run's test set against
+    ``P0 u P1`` with the session-cached simulator.
+    """
+    scale = get_scale(scale)
+    if heuristics is None:
+        heuristics = HEURISTICS
+    targets = session.target_sets(
+        max_faults=scale.max_faults,
+        p0_min_faults=scale.p0_min_faults,
+    )
+    simulator = session.fault_simulator(targets.all_records)
+    entry = CircuitBasicResult(
+        circuit=session.netlist.name,
+        i0=targets.i0,
+        p0_total=len(targets.p0),
+        p01_total=len(targets.all_records),
+    )
+    for heuristic in heuristics:
+        config = AtpgConfig(
+            heuristic=heuristic,
+            seed=scale.seed,
+            max_secondary_attempts=scale.max_secondary_attempts,
+        )
+        run = session.generate_basic(targets.p0, config)
+        detected_p01, _ = simulator.coverage(run.test_vectors)
+        entry.outcomes[heuristic] = HeuristicOutcome(
+            detected_p0=run.detected_by_pool[0],
+            tests=run.num_tests,
+            detected_p01=detected_p01,
+            runtime_seconds=run.runtime_seconds,
+        )
+    return entry
+
+
 def run_basic_experiments(
     scale: str | ExperimentScale = "default",
     circuits: Sequence[str] = TABLE3_CIRCUITS,
     heuristics: Sequence[str] = HEURISTICS,
     engine: Engine | None = None,
+    jobs: int | None = 1,
 ) -> dict[str, CircuitBasicResult]:
     """Run the basic procedure for every circuit x heuristic (Tables 3-5).
 
-    Target sets are built once per circuit (once per *sweep* when the
-    caller shares an engine) and shared across heuristics; Table 5's
-    accidental-detection numbers come from fault-simulating each run's
-    test set against ``P0 u P1`` with the session-cached simulator.
+    ``jobs`` fans circuits out over :class:`repro.parallel.ParallelRunner`
+    (``None`` = all CPUs); results are keyed in ``circuits`` order either
+    way and identical to the serial path up to wall-clock fields.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
-    results: dict[str, CircuitBasicResult] = {}
-    for name in circuits:
-        session = engine.session(name)
-        targets = session.target_sets(
-            max_faults=scale.max_faults,
-            p0_min_faults=scale.p0_min_faults,
+    if resolve_jobs(jobs) > 1 and len(circuits) > 1:
+        runner = ParallelRunner(jobs, engine=engine)
+        outcomes = runner.run(
+            CircuitJob(name, scale, tuple(heuristics), run_basic=True)
+            for name in circuits
         )
-        simulator = session.fault_simulator(targets.all_records)
-        entry = CircuitBasicResult(
-            circuit=name,
-            i0=targets.i0,
-            p0_total=len(targets.p0),
-            p01_total=len(targets.all_records),
-        )
-        for heuristic in heuristics:
-            config = AtpgConfig(
-                heuristic=heuristic,
-                seed=scale.seed,
-                max_secondary_attempts=scale.max_secondary_attempts,
-            )
-            run = session.generate_basic(targets.p0, config)
-            detected_p01, _ = simulator.coverage(run.test_vectors)
-            entry.outcomes[heuristic] = HeuristicOutcome(
-                detected_p0=run.detected_by_pool[0],
-                tests=run.num_tests,
-                detected_p01=detected_p01,
-                runtime_seconds=run.runtime_seconds,
-            )
-        results[name] = entry
-    return results
+        return {result.circuit: result.basic for result in outcomes}
+    return {
+        name: run_basic_circuit(engine.session(name), scale, heuristics)
+        for name in circuits
+    }
 
 
 # ----------------------------------------------------------------------
@@ -177,41 +205,56 @@ def run_basic_experiments(
 # ----------------------------------------------------------------------
 
 
+def run_table6_circuit(
+    session: CircuitSession,
+    scale: str | ExperimentScale = "default",
+) -> Table6Row:
+    """One circuit's enrichment run (Table 6 unit; see
+    :func:`run_basic_circuit` for the sharing contract)."""
+    scale = get_scale(scale)
+    targets = session.target_sets(
+        max_faults=scale.max_faults,
+        p0_min_faults=scale.p0_min_faults,
+    )
+    config = AtpgConfig(
+        heuristic="values",
+        seed=scale.seed,
+        max_secondary_attempts=scale.max_secondary_attempts,
+    )
+    report = session.generate_enriched(targets, config)
+    assert isinstance(report, EnrichmentReport)
+    return Table6Row(
+        circuit=session.netlist.name,
+        i0=report.targets.i0,
+        p0_total=report.p0_total,
+        p0_detected=report.p0_detected,
+        p01_total=report.p01_total,
+        p01_detected=report.p01_detected,
+        tests=report.num_tests,
+        runtime_seconds=report.result.runtime_seconds,
+    )
+
+
 def run_table6(
     scale: str | ExperimentScale = "default",
     circuits: Sequence[str] = TABLE6_CIRCUITS,
     engine: Engine | None = None,
+    jobs: int | None = 1,
 ) -> list[Table6Row]:
-    """The proposed enrichment procedure on each circuit (Table 6)."""
+    """The proposed enrichment procedure on each circuit (Table 6).
+
+    ``jobs`` fans circuits out over :class:`repro.parallel.ParallelRunner`
+    (``None`` = all CPUs); rows come back in ``circuits`` order either way.
+    """
     scale = get_scale(scale)
     engine = engine or Engine()
-    rows: list[Table6Row] = []
-    for name in circuits:
-        session = engine.session(name)
-        targets = session.target_sets(
-            max_faults=scale.max_faults,
-            p0_min_faults=scale.p0_min_faults,
+    if resolve_jobs(jobs) > 1 and len(circuits) > 1:
+        runner = ParallelRunner(jobs, engine=engine)
+        outcomes = runner.run(
+            CircuitJob(name, scale, run_table6=True) for name in circuits
         )
-        config = AtpgConfig(
-            heuristic="values",
-            seed=scale.seed,
-            max_secondary_attempts=scale.max_secondary_attempts,
-        )
-        report = session.generate_enriched(targets, config)
-        assert isinstance(report, EnrichmentReport)
-        rows.append(
-            Table6Row(
-                circuit=name,
-                i0=report.targets.i0,
-                p0_total=report.p0_total,
-                p0_detected=report.p0_detected,
-                p01_total=report.p01_total,
-                p01_detected=report.p01_detected,
-                tests=report.num_tests,
-                runtime_seconds=report.result.runtime_seconds,
-            )
-        )
-    return rows
+        return [result.table6 for result in outcomes]
+    return [run_table6_circuit(engine.session(name), scale) for name in circuits]
 
 
 # ----------------------------------------------------------------------
@@ -224,20 +267,53 @@ def run_all(
     circuits: Sequence[str] = TABLE3_CIRCUITS,
     table6_circuits: Sequence[str] = TABLE6_CIRCUITS,
     engine: Engine | None = None,
+    jobs: int | None = 1,
 ) -> ExperimentResults:
     """Regenerate the data behind every table of the paper.
 
     One engine backs the whole sweep: Tables 3-5 and 6-7 share each
     circuit's enumeration and target sets, and Table 2 reuses the
     enumeration of its circuit when it also appears in ``circuits``.
+
+    With ``jobs`` > 1 (``None`` = all CPUs) the per-circuit work of
+    Tables 3-7 fans out over one shared process pool -- a circuit in both
+    sweeps is a *single* job, so its worker session still builds each
+    artifact once.  Tables 1-2 are cheap single-circuit work and stay in
+    the parent.  Results are merged in circuit order and identical to
+    ``jobs=1`` up to wall-clock fields.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
-    basic = run_basic_experiments(scale, circuits, engine=engine)
+    n_jobs = resolve_jobs(jobs)
+    basic_names = list(circuits)
+    table6_names = list(table6_circuits)
+    if n_jobs > 1 and len(set(basic_names) | set(table6_names)) > 1:
+        ordered = basic_names + [
+            name for name in table6_names if name not in basic_names
+        ]
+        runner = ParallelRunner(n_jobs, engine=engine)
+        outcomes = {
+            result.circuit: result
+            for result in runner.run(
+                CircuitJob(
+                    name,
+                    scale,
+                    tuple(HEURISTICS),
+                    run_basic=name in basic_names,
+                    run_table6=name in table6_names,
+                )
+                for name in ordered
+            )
+        }
+        basic = {name: outcomes[name].basic for name in basic_names}
+        table6 = [outcomes[name].table6 for name in table6_names]
+    else:
+        basic = run_basic_experiments(scale, circuits, engine=engine)
+        table6 = run_table6(scale, table6_circuits, engine=engine)
     return ExperimentResults(
         scale=scale.name,
         table1=run_table1(engine=engine),
         table2=run_table2(scale, engine=engine),
         basic=basic,
-        table6=run_table6(scale, table6_circuits, engine=engine),
+        table6=table6,
     )

@@ -1,0 +1,19 @@
+"""Parallel execution layer: per-circuit fan-out over a process pool."""
+
+from .runner import (
+    CircuitJob,
+    CircuitJobResult,
+    ParallelRunner,
+    execute_job,
+    resolve_jobs,
+    run_circuit_job,
+)
+
+__all__ = [
+    "CircuitJob",
+    "CircuitJobResult",
+    "ParallelRunner",
+    "resolve_jobs",
+    "run_circuit_job",
+    "execute_job",
+]

@@ -1,0 +1,154 @@
+"""Process-pool fan-out of per-circuit experiment work.
+
+The table experiments are embarrassingly parallel across circuits: every
+circuit's pipeline (enumeration, target sets, generation runs, fault
+simulation) is independent and deterministic given ``(circuit, scale,
+seed)``.  :class:`ParallelRunner` exploits that:
+
+* one :class:`CircuitJob` describes all the work for one circuit
+  (which heuristic runs, whether to run enrichment);
+* one pool worker owns one :class:`~repro.engine.CircuitSession`, so a
+  circuit appearing in both the basic and the enrichment sweeps still
+  compiles its artifacts exactly once;
+* results come back as the plain dataclasses of
+  :mod:`repro.experiments.results` and are merged **in submission order**,
+  so ``--jobs N`` output is identical to the serial path for every
+  deterministic field (wall-clock ``runtime_seconds`` fields necessarily
+  differ run to run; see ``ExperimentResults.canonical_json``);
+* each worker's :class:`~repro.engine.EngineStats` is returned and folded
+  into the parent engine's stats via :meth:`EngineStats.merge`.
+
+``jobs=1`` (or a single job) never touches a pool: work runs in-process
+on the caller's engine, preserving the pre-parallel code path exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..engine import Engine
+from ..engine.stats import EngineStats
+
+if TYPE_CHECKING:  # experiments imports parallel; keep the reverse type-only
+    from ..experiments.results import CircuitBasicResult, Table6Row
+    from ..experiments.scale import ExperimentScale
+
+__all__ = [
+    "CircuitJob",
+    "CircuitJobResult",
+    "ParallelRunner",
+    "resolve_jobs",
+    "run_circuit_job",
+    "execute_job",
+]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None`` means all CPUs, min 1."""
+    if jobs is None:
+        return max(1, os.cpu_count() or 1)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class CircuitJob:
+    """All experiment work assigned to one circuit (one pool task).
+
+    ``heuristics`` is the basic-generation sweep; an empty tuple means the
+    driver default (:data:`repro.experiments.workloads.HEURISTICS`).
+    """
+
+    circuit: str
+    scale: "ExperimentScale"
+    heuristics: tuple[str, ...] = ()
+    run_basic: bool = False
+    run_table6: bool = False
+
+
+@dataclass
+class CircuitJobResult:
+    """One circuit's outcome, shipped back from a worker.
+
+    ``stats`` is the worker engine's instrumentation, ``None`` when the
+    job ran in-process (its events already landed on the caller's engine).
+    """
+
+    circuit: str
+    basic: "CircuitBasicResult | None" = None
+    table6: "Table6Row | None" = None
+    stats: EngineStats | None = None
+
+
+def run_circuit_job(job: CircuitJob, engine: Engine) -> CircuitJobResult:
+    """Run one circuit's work on ``engine`` (in-process path)."""
+    from ..experiments.tables import run_basic_circuit, run_table6_circuit
+
+    session = engine.session(job.circuit)
+    basic = None
+    if job.run_basic:
+        basic = run_basic_circuit(session, job.scale, job.heuristics or None)
+    table6 = None
+    if job.run_table6:
+        table6 = run_table6_circuit(session, job.scale)
+    return CircuitJobResult(circuit=job.circuit, basic=basic, table6=table6)
+
+
+def execute_job(job: CircuitJob) -> CircuitJobResult:
+    """Pool-worker entry point: fresh engine, stats shipped back."""
+    engine = Engine()
+    result = run_circuit_job(job, engine)
+    result.stats = engine.stats
+    return result
+
+
+def _init_pool_worker() -> None:
+    # Workers must not read or grow the module-level one-shot simulator
+    # cache (fork inherits the parent's populated cache).
+    from ..sim.faultsim import mark_pool_worker
+
+    mark_pool_worker()
+
+
+class ParallelRunner:
+    """Fans :class:`CircuitJob` lists out over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` means ``os.cpu_count()``.  ``1`` runs
+        everything in-process on ``engine``.
+    engine:
+        The parent engine.  In-process jobs run directly on it; pool
+        workers build their own and their stats are merged back into it.
+    """
+
+    def __init__(self, jobs: int | None = None, engine: Engine | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.engine = engine if engine is not None else Engine()
+
+    def run(self, jobs: Iterable[CircuitJob]) -> list[CircuitJobResult]:
+        """Execute every job; results in submission (circuit) order."""
+        job_list: Sequence[CircuitJob] = list(jobs)
+        if self.jobs == 1 or len(job_list) < 2:
+            return [run_circuit_job(job, self.engine) for job in job_list]
+        workers = min(self.jobs, len(job_list))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_pool_worker
+        ) as pool:
+            futures = [pool.submit(execute_job, job) for job in job_list]
+            # Collect in submission order, not completion order: the
+            # merge must be deterministic regardless of scheduling.
+            results = [future.result() for future in futures]
+        for result in results:
+            if result.stats is not None:
+                self.engine.stats.merge(result.stats)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParallelRunner(jobs={self.jobs})"

@@ -1,7 +1,7 @@
 """Simulation layer: waveform-triple simulators and robust fault simulation."""
 
 from .batch import BatchSimulator
-from .cover import CompiledRequirements
+from .cover import CompiledRequirements, StackedRequirements
 from .faultsim import FaultSimulator, detected_count, detection_matrix
 from .logicsim import simulate_logic
 from .scalar import simulate_triples
@@ -18,6 +18,7 @@ from .waveform import render_test, render_waveforms
 __all__ = [
     "BatchSimulator",
     "CompiledRequirements",
+    "StackedRequirements",
     "FaultSimulator",
     "detection_matrix",
     "detected_count",

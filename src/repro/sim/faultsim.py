@@ -11,12 +11,17 @@ therefore:
 2. for every fault, check whether any test's simulated values *cover* its
    requirement set.
 
-Cost: one levelized batch simulation plus an O(|A(p)| * tests) covering
-check per fault.
+Cost: one levelized batch simulation plus a covering check.  The covering
+check is vectorized across the whole fault population by default (all
+faults' requirements stacked into padded arrays once, see
+:class:`~repro.sim.cover.StackedRequirements`); set ``REPRO_SCALAR_COVER=1``
+to fall back to the original per-fault loop.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Sequence
 
@@ -25,7 +30,7 @@ import numpy as np
 from ..circuit.netlist import Netlist
 from ..faults.universe import FaultRecord
 from .batch import BatchSimulator
-from .cover import CompiledRequirements
+from .cover import CompiledRequirements, StackedRequirements
 from .vectors import TwoPatternTest
 
 if TYPE_CHECKING:  # engine imports sim; keep the reverse edge type-only
@@ -34,19 +39,39 @@ if TYPE_CHECKING:  # engine imports sim; keep the reverse edge type-only
 __all__ = [
     "FaultSimulator",
     "shared_fault_simulator",
+    "mark_pool_worker",
     "detection_matrix",
     "detected_count",
 ]
 
+#: Environment flag forcing the pre-vectorization per-fault covering loop.
+SCALAR_COVER_ENV = "REPRO_SCALAR_COVER"
+
+
+def _scalar_cover_requested() -> bool:
+    return os.environ.get(SCALAR_COVER_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
 
 class FaultSimulator:
-    """Simulates a fixed fault population against arbitrary test sets."""
+    """Simulates a fixed fault population against arbitrary test sets.
+
+    ``vectorized`` selects the covering kernel: ``True`` stacks every
+    fault's requirements once and computes the detection matrix with
+    array ops; ``False`` keeps the per-fault loop; ``None`` (default)
+    vectorizes unless ``REPRO_SCALAR_COVER`` is set.
+    """
 
     def __init__(
         self,
         netlist: Netlist,
         records: Sequence[FaultRecord],
         simulator: BatchSimulator | None = None,
+        vectorized: bool | None = None,
     ) -> None:
         self.netlist = netlist
         self.records = list(records)
@@ -54,6 +79,10 @@ class FaultSimulator:
         self._compiled = [
             CompiledRequirements(record.sens.requirements) for record in self.records
         ]
+        if vectorized is None:
+            vectorized = not _scalar_cover_requested()
+        self.vectorized = vectorized
+        self._stacked = StackedRequirements(self._compiled) if vectorized else None
 
     def simulate(self, tests: Sequence[TwoPatternTest]) -> np.ndarray:
         """Simulate the test set; returns node codes ``(n_nodes, 3, K)``."""
@@ -64,6 +93,8 @@ class FaultSimulator:
         if not tests:
             return np.zeros((len(self.records), 0), dtype=bool)
         sim_codes = self.simulate(tests)
+        if self._stacked is not None:
+            return self._stacked.covered_matrix(sim_codes)
         matrix = np.zeros((len(self.records), len(tests)), dtype=bool)
         for row, compiled in enumerate(self._compiled):
             matrix[row, :] = compiled.covered_by(sim_codes)
@@ -90,8 +121,25 @@ class FaultSimulator:
 # (netlist, records) share one FaultSimulator instead of recompiling the
 # requirement matrices.  Keys are object identities; each entry keeps the
 # netlist and records alive, so ids cannot be recycled while cached.
+# Guarded by a lock: the parallel runner's threads/processes may race on
+# it, and an eviction between another thread's get and move_to_end would
+# otherwise corrupt the OrderedDict.
 _SHARED_MAX = 8
 _shared: "OrderedDict[tuple, tuple[Netlist, tuple, FaultSimulator]]" = OrderedDict()
+_shared_lock = threading.Lock()
+_in_pool_worker = False
+
+
+def mark_pool_worker(active: bool = True) -> None:
+    """Flag this process as a parallel-pool worker.
+
+    Workers bypass the module-level cache entirely: with ``fork`` start
+    they inherit a populated ``_shared`` whose entries alias parent-built
+    simulators, and a short-lived worker gains nothing from caching its
+    own.  Called by :mod:`repro.parallel`'s pool initializer.
+    """
+    global _in_pool_worker
+    _in_pool_worker = active
 
 
 def shared_fault_simulator(
@@ -104,22 +152,32 @@ def shared_fault_simulator(
     ``sim`` may be an explicit :class:`FaultSimulator`, anything with a
     session-style ``fault_simulator(records)`` accessor (e.g.
     :class:`repro.engine.CircuitSession`), or ``None`` to fall back to the
-    bounded module-level cache.
+    bounded module-level cache (bypassed inside pool workers).
     """
     if isinstance(sim, FaultSimulator):
         return sim
     if sim is not None:
         return sim.fault_simulator(records)
     records = list(records)
+    if _in_pool_worker:
+        return FaultSimulator(netlist, records)
     key = (id(netlist), tuple(map(id, records)))
-    entry = _shared.get(key)
-    if entry is not None:
-        _shared.move_to_end(key)
-        return entry[2]
+    with _shared_lock:
+        entry = _shared.get(key)
+        if entry is not None:
+            _shared.move_to_end(key)
+            return entry[2]
+    # Compile outside the lock (construction is the expensive part); a
+    # concurrent builder of the same key just wins the final insert.
     simulator = FaultSimulator(netlist, records)
-    _shared[key] = (netlist, tuple(records), simulator)
-    while len(_shared) > _SHARED_MAX:
-        _shared.popitem(last=False)
+    with _shared_lock:
+        entry = _shared.get(key)
+        if entry is not None:
+            _shared.move_to_end(key)
+            return entry[2]
+        _shared[key] = (netlist, tuple(records), simulator)
+        while len(_shared) > _SHARED_MAX:
+            _shared.popitem(last=False)
     return simulator
 
 

@@ -1,0 +1,157 @@
+"""Tests for the process-pool experiment runner.
+
+The determinism contract: ``jobs=N`` must produce results byte-identical
+to ``jobs=1`` for every deterministic field (``canonical_json`` strips the
+wall-clock ``runtime_seconds`` measurements, which differ run to run even
+at a fixed job count).
+"""
+
+import pytest
+
+from repro.engine import Engine, EngineStats
+from repro.experiments import ExperimentScale, run_all, run_basic_experiments
+from repro.parallel import (
+    CircuitJob,
+    CircuitJobResult,
+    ParallelRunner,
+    execute_job,
+    resolve_jobs,
+    run_circuit_job,
+)
+
+TINY = ExperimentScale(
+    name="tiny", max_faults=120, p0_min_faults=30, max_secondary_attempts=4, seed=1
+)
+CIRCUITS = ("s27", "b03_proxy")
+
+
+class TestResolveJobs:
+    def test_none_means_all_cpus(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_all(TINY, circuits=CIRCUITS, table6_circuits=CIRCUITS, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel_results():
+    return run_all(TINY, circuits=CIRCUITS, table6_circuits=CIRCUITS, jobs=4)
+
+
+class TestDeterminism:
+    def test_jobs4_matches_jobs1_byte_identical(
+        self, serial_results, parallel_results
+    ):
+        assert (
+            parallel_results.canonical_json() == serial_results.canonical_json()
+        )
+
+    def test_circuit_order_preserved(self, parallel_results):
+        assert tuple(parallel_results.basic) == CIRCUITS
+        assert tuple(r.circuit for r in parallel_results.table6) == CIRCUITS
+
+    def test_run_basic_experiments_parallel_identity(self):
+        serial = run_basic_experiments(TINY, CIRCUITS, jobs=1)
+        parallel = run_basic_experiments(TINY, CIRCUITS, jobs=2)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            a, b = serial[name], parallel[name]
+            assert a.i0 == b.i0
+            assert a.p0_total == b.p0_total
+            assert a.p01_total == b.p01_total
+            for heuristic, outcome in a.outcomes.items():
+                other = b.outcomes[heuristic]
+                assert outcome.detected_p0 == other.detected_p0
+                assert outcome.tests == other.tests
+                assert outcome.detected_p01 == other.detected_p01
+
+
+class TestRunner:
+    def test_in_process_path_uses_caller_engine(self):
+        engine = Engine()
+        runner = ParallelRunner(jobs=1, engine=engine)
+        results = runner.run(
+            [CircuitJob("s27", TINY, ("values",), run_basic=True)]
+        )
+        assert len(results) == 1
+        assert results[0].stats is None  # recorded directly on `engine`
+        assert engine.stats.misses("enumerate") >= 1
+
+    def test_pool_path_merges_worker_stats(self):
+        engine = Engine()
+        runner = ParallelRunner(jobs=2, engine=engine)
+        jobs = [
+            CircuitJob(name, TINY, ("values",), run_basic=True)
+            for name in CIRCUITS
+        ]
+        results = runner.run(jobs)
+        assert [r.circuit for r in results] == list(CIRCUITS)
+        assert all(r.stats is not None for r in results)
+        # Both workers' events landed on the parent engine.
+        assert engine.stats.misses("enumerate") >= len(CIRCUITS)
+        assert engine.stats.counter("simulator.build") >= len(CIRCUITS)
+
+    def test_single_job_never_spawns_pool(self):
+        engine = Engine()
+        runner = ParallelRunner(jobs=8, engine=engine)
+        results = runner.run(
+            [CircuitJob("s27", TINY, ("values",), run_basic=True)]
+        )
+        assert results[0].stats is None  # in-process short-circuit
+
+    def test_combined_job_runs_both_sweeps(self):
+        result = execute_job(
+            CircuitJob("s27", TINY, ("values",), run_basic=True, run_table6=True)
+        )
+        assert isinstance(result, CircuitJobResult)
+        assert result.basic is not None
+        assert result.table6 is not None
+        assert result.basic.circuit == "s27"
+        assert result.table6.circuit == "s27"
+        # One worker session: the enrichment run reused the basic sweep's
+        # target sets instead of rebuilding them.
+        assert result.stats.hits("target_sets") >= 1
+
+    def test_worker_result_matches_in_process(self):
+        job = CircuitJob("s27", TINY, ("values",), run_basic=True)
+        in_process = run_circuit_job(job, Engine())
+        shipped = execute_job(job)
+        assert in_process.basic.p0_total == shipped.basic.p0_total
+        outcome_a = in_process.basic.outcomes["values"]
+        outcome_b = shipped.basic.outcomes["values"]
+        assert outcome_a.detected_p0 == outcome_b.detected_p0
+        assert outcome_a.tests == outcome_b.tests
+
+
+class TestStatsMerge:
+    def test_merge_sums_counters_and_timers(self):
+        parent, worker1, worker2 = EngineStats(), EngineStats(), EngineStats()
+        parent.count("enumerate.miss")
+        parent.add_time("generate", 1.0)
+        worker1.count("enumerate.miss", 2)
+        worker1.add_time("generate", 0.5)
+        worker1.add_time("enumerate", 0.25)
+        worker2.count("batch.runs", 7)
+        worker2.add_time("generate", 0.25)
+        parent.merge(worker1)
+        parent.merge(worker2)
+        assert parent.counter("enumerate.miss") == 3
+        assert parent.counter("batch.runs") == 7
+        assert parent.timers["generate"] == pytest.approx(1.75)
+        assert parent.timers["enumerate"] == pytest.approx(0.25)
+
+    def test_merge_empty_is_noop(self):
+        parent = EngineStats()
+        parent.count("x")
+        snapshot = parent.snapshot()
+        parent.merge(EngineStats())
+        assert parent.snapshot() == snapshot

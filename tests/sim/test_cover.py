@@ -80,3 +80,63 @@ class TestConsistentWith:
     def test_len(self):
         req = CompiledRequirements({0: Triple.parse("0x1"), 3: Triple.parse("xxx")})
         assert len(req) == 2  # two specified components on node 0, none on 3
+
+
+class TestStackedRequirements:
+    def _stack(self, mappings):
+        from repro.sim import StackedRequirements
+
+        return StackedRequirements([CompiledRequirements(m) for m in mappings])
+
+    def test_matches_per_fault_loop(self):
+        mappings = [
+            {0: Triple.parse("0x1"), 1: Triple.parse("111")},
+            {0: Triple.parse("xx1")},
+            {},  # no requirements: covered by every test
+            {2: Triple.parse("010")},
+        ]
+        compiled = [CompiledRequirements(m) for m in mappings]
+        stacked = self._stack(mappings)
+        rng = np.random.default_rng(7)
+        sims = np.stack(
+            [
+                np.array(
+                    [ALL_TRIPLES[i].components() for i in rng.integers(0, len(ALL_TRIPLES), 3)],
+                    dtype=np.int8,
+                )
+                for _ in range(16)
+            ],
+            axis=2,
+        )
+        expected = np.stack([c.covered_by(sims) for c in compiled])
+        assert np.array_equal(stacked.covered_matrix(sims), expected)
+
+    def test_empty_population(self):
+        stacked = self._stack([])
+        sims = sim_array([Triple.parse("111")])
+        assert stacked.covered_matrix(sims).shape == (0, 1)
+
+    def test_all_empty_requirements(self):
+        stacked = self._stack([{}, {}])
+        sims = sim_array([Triple.parse("0x0")])
+        assert stacked.covered_matrix(sims).all()
+
+    def test_chunked_matches_unchunked(self):
+        mappings = [{0: Triple.parse("111")}, {1: Triple.parse("0x1")}] * 5
+        stacked = self._stack(mappings)
+        sims = np.stack(
+            [
+                np.array(
+                    [t.components() for t in (Triple.parse("111"), Triple.parse("001"))],
+                    dtype=np.int8,
+                )
+            ]
+            * 4,
+            axis=2,
+        ).reshape(2, 3, -1)
+        full = stacked.covered_matrix(sims)
+        tiny_chunks = stacked.covered_matrix(sims, max_elements=1)
+        assert np.array_equal(full, tiny_chunks)
+
+    def test_len(self):
+        assert len(self._stack([{}, {0: Triple.parse("111")}])) == 2

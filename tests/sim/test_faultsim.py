@@ -135,3 +135,110 @@ class TestExhaustiveGroundTruth:
                 RequirementSet(record.sens.requirements), node_limit=100_000
             )
             assert provable == bool(hit), record.fault.format(c17)
+
+
+def random_tests(netlist, n, seed):
+    rng = random.Random(seed)
+    return [
+        TwoPatternTest(
+            {
+                pi: Triple.transition(rng.randint(0, 1), rng.randint(0, 1))
+                for pi in netlist.input_indices
+            }
+        )
+        for _ in range(n)
+    ]
+
+
+class TestVectorizedCovering:
+    """The stacked kernel must agree with the per-fault loop exactly."""
+
+    def test_s27_universe_agrees(self, s27):
+        targets = build_target_sets(s27, max_faults=1000, p0_min_faults=20)
+        tests = random_tests(s27, 40, seed=11)
+        vec = FaultSimulator(s27, targets.all_records, vectorized=True)
+        loop = FaultSimulator(s27, targets.all_records, vectorized=False)
+        assert np.array_equal(
+            vec.detection_matrix(tests), loop.detection_matrix(tests)
+        )
+
+    def test_c17_universe_agrees(self, c17, c17_targets):
+        tests = random_tests(c17, 60, seed=3)
+        vec = FaultSimulator(c17, c17_targets.all_records, vectorized=True)
+        loop = FaultSimulator(c17, c17_targets.all_records, vectorized=False)
+        assert np.array_equal(
+            vec.detection_matrix(tests), loop.detection_matrix(tests)
+        )
+
+    def test_default_is_vectorized(self, s27):
+        targets = build_target_sets(s27, max_faults=200, p0_min_faults=5)
+        simulator = FaultSimulator(s27, targets.all_records)
+        assert simulator.vectorized
+
+    def test_scalar_env_escape_hatch(self, s27, monkeypatch):
+        from repro.sim.faultsim import SCALAR_COVER_ENV
+
+        targets = build_target_sets(s27, max_faults=200, p0_min_faults=5)
+        monkeypatch.setenv(SCALAR_COVER_ENV, "1")
+        scalar = FaultSimulator(s27, targets.all_records)
+        assert not scalar.vectorized
+        monkeypatch.setenv(SCALAR_COVER_ENV, "0")
+        assert FaultSimulator(s27, targets.all_records).vectorized
+        tests = random_tests(s27, 10, seed=1)
+        vec = FaultSimulator(s27, targets.all_records, vectorized=True)
+        assert np.array_equal(
+            scalar.detection_matrix(tests), vec.detection_matrix(tests)
+        )
+
+
+class TestSharedCache:
+    def test_one_shot_calls_share_simulator(self, s27):
+        from repro.sim.faultsim import shared_fault_simulator
+
+        targets = build_target_sets(s27, max_faults=200, p0_min_faults=5)
+        first = shared_fault_simulator(s27, targets.all_records)
+        second = shared_fault_simulator(s27, targets.all_records)
+        assert first is second
+
+    def test_pool_workers_bypass_cache(self, s27):
+        from repro.sim import faultsim
+
+        targets = build_target_sets(s27, max_faults=200, p0_min_faults=5)
+        before = dict(faultsim._shared)
+        faultsim.mark_pool_worker(True)
+        try:
+            first = faultsim.shared_fault_simulator(s27, targets.all_records)
+            second = faultsim.shared_fault_simulator(s27, targets.all_records)
+            assert first is not second
+            assert dict(faultsim._shared) == before  # untouched
+        finally:
+            faultsim.mark_pool_worker(False)
+
+    def test_concurrent_access_is_safe(self, s27):
+        import threading
+
+        from repro.sim.faultsim import shared_fault_simulator
+
+        populations = [
+            build_target_sets(s27, max_faults=cap, p0_min_faults=5).all_records
+            for cap in (40, 60, 80, 100)
+        ]
+        errors = []
+
+        def hammer(records):
+            try:
+                for _ in range(20):
+                    shared_fault_simulator(s27, records)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(pop,))
+            for pop in populations
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -93,6 +93,52 @@ class TestCommands:
         assert main(["stats", "s27"]) == 0
         assert "engine stats" not in capsys.readouterr().err
 
+    def test_tables_jobs_flag(self, tmp_path, capsys):
+        """--jobs plumbs through to run_all; a --quick single-circuit
+        sweep short-circuits to the in-process path at any job count and
+        must match --jobs 1 on every deterministic field."""
+        args = [
+            "tables",
+            "--scale",
+            "smoke",
+            "--quick",
+            "--max-faults",
+            "120",
+            "--p0-min-faults",
+            "30",
+        ]
+        outputs = {}
+        for jobs in ("1", "2"):
+            out_path = tmp_path / f"jobs{jobs}.json"
+            code = main(args + ["--jobs", jobs, "--out", str(out_path)])
+            assert code == 0
+            capsys.readouterr()
+            payload = json.loads(out_path.read_text())
+            for entry in payload["basic"].values():
+                for outcome in entry["outcomes"].values():
+                    outcome["runtime_seconds"] = 0.0
+            for row in payload["table6"]:
+                row["runtime_seconds"] = 0.0
+            outputs[jobs] = payload
+        assert outputs["1"] == outputs["2"]
+
+    def test_tables_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "tables",
+                    "--scale",
+                    "smoke",
+                    "--quick",
+                    "--max-faults",
+                    "120",
+                    "--p0-min-faults",
+                    "30",
+                    "--jobs",
+                    "0",
+                ]
+            )
+
     def test_tables_quick_smoke_with_cache(self, tmp_path, capsys):
         out_path = tmp_path / "results.json"
         code = main(

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Benchmark the hot paths and fail on regression against a baseline.
+
+Times two things (the costs the parallel runner and the vectorized
+covering kernel attack):
+
+* ``tables_s27``       -- the full per-circuit table pipeline on ``s27``
+  at the ``default`` scale (enumeration, target sets, all four heuristic
+  generation runs, P0 u P1 fault simulation), cold engine every repeat;
+* ``detection_matrix_vectorized`` / ``detection_matrix_scalar`` -- one
+  ``FaultSimulator.detection_matrix`` call over the ``s641_proxy``
+  default-scale fault universe, per covering kernel.
+
+Each entry records the best of ``--repeats`` runs (wall clock, seconds).
+With ``--baseline`` the current numbers are compared entry by entry and
+the process exits non-zero when any entry is more than ``--max-regression``
+slower (missing entries also fail).  CI runs this against the committed
+``benchmarks/BENCH_PR2.json``; refresh that file with ``--update-baseline``
+on a quiet machine when a deliberate change moves the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def best_of(repeats: int, func) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_tables_s27(repeats: int) -> float:
+    from repro.engine import Engine
+    from repro.experiments import get_scale
+    from repro.experiments.tables import run_basic_circuit
+
+    scale = get_scale("default")
+
+    def pipeline():
+        engine = Engine()  # cold: includes enumeration + compilation
+        run_basic_circuit(engine.session("s27"), scale)
+
+    return best_of(repeats, pipeline)
+
+
+def bench_detection_matrix(repeats: int) -> dict[str, float]:
+    from repro.atpg import AtpgConfig
+    from repro.engine import Engine
+    from repro.experiments import get_scale
+    from repro.sim.faultsim import FaultSimulator
+
+    scale = get_scale("default")
+    engine = Engine()
+    session = engine.session("s641_proxy")
+    targets = session.target_sets(
+        max_faults=scale.max_faults, p0_min_faults=scale.p0_min_faults
+    )
+    config = AtpgConfig(
+        heuristic="values",
+        seed=scale.seed,
+        max_secondary_attempts=scale.max_secondary_attempts,
+    )
+    tests = session.generate_basic(targets.p0, config).test_vectors
+    kernels = {
+        "detection_matrix_vectorized": FaultSimulator(
+            session.netlist,
+            targets.all_records,
+            simulator=session.simulator,
+            vectorized=True,
+        ),
+        "detection_matrix_scalar": FaultSimulator(
+            session.netlist,
+            targets.all_records,
+            simulator=session.simulator,
+            vectorized=False,
+        ),
+    }
+    results = {}
+    for name, simulator in kernels.items():
+        simulator.detection_matrix(tests)  # warm the batch simulator
+        results[name] = best_of(repeats, lambda: simulator.detection_matrix(tests))
+    return results
+
+
+def run_benches(repeats: int) -> dict:
+    results = {"tables_s27": bench_tables_s27(max(1, repeats // 3))}
+    results.update(bench_detection_matrix(repeats))
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "results": {name: round(value, 6) for name, value in results.items()},
+    }
+
+
+def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
+    failures = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    for name, base_seconds in sorted(base_results.items()):
+        cur_seconds = cur_results.get(name)
+        if cur_seconds is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = cur_seconds / base_seconds if base_seconds > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + max_regression:
+            verdict = f"REGRESSION (> {max_regression:.0%} slower)"
+            failures.append(
+                f"{name}: {cur_seconds:.4f}s vs baseline {base_seconds:.4f}s "
+                f"({ratio:.2f}x)"
+            )
+        print(
+            f"  {name:<30} {cur_seconds:>9.4f}s  baseline {base_seconds:>9.4f}s  "
+            f"{ratio:>5.2f}x  {verdict}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_PR2.json",
+        help="where to write this run's numbers (default: BENCH_PR2.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "benchmarks" / "BENCH_PR2.json"),
+        help="committed baseline to compare against ('' disables comparison)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed slowdown per entry before failing (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=6, help="repeats per timed entry (best-of)"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="also rewrite the baseline file with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_benches(args.repeats)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(current, indent=1) + "\n")
+    print(f"wrote {out_path}")
+    for name, seconds in current["results"].items():
+        print(f"  {name:<30} {seconds:>9.4f}s")
+
+    if args.update_baseline:
+        baseline_path = Path(args.baseline)
+        baseline_path.write_text(json.dumps(current, indent=1) + "\n")
+        print(f"updated baseline {baseline_path}")
+        return 0
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found; skipping comparison")
+            return 0
+        baseline = json.loads(baseline_path.read_text())
+        print(f"comparing against {baseline_path}")
+        failures = compare(current, baseline, args.max_regression)
+        if failures:
+            print("benchmark regression:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
