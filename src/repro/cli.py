@@ -29,8 +29,41 @@ from .experiments import (
     TABLE6_CIRCUITS,
     run_all,
 )
+from .parallel import ParallelRunError, resolve_jobs
 
 __all__ = ["main"]
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for ``--jobs``: a clean usage error, not a traceback."""
+    try:
+        return resolve_jobs(int(value))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _nonnegative_int_arg(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {number}")
+    return number
+
+
+def _positive_float_arg(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return number
 
 
 def _session(name_or_path: str, engine: Engine) -> CircuitSession:
@@ -127,13 +160,29 @@ def _cmd_tables(args, engine: Engine) -> int:
             )
         circuits = TABLE3_CIRCUITS if not args.quick else TABLE3_CIRCUITS[:1]
         table6 = TABLE6_CIRCUITS if not args.quick else TABLE6_CIRCUITS[:1]
-        results = run_all(
-            scale,
-            circuits=circuits,
-            table6_circuits=table6,
-            engine=engine,
-            jobs=args.jobs,
-        )
+        try:
+            results = run_all(
+                scale,
+                circuits=circuits,
+                table6_circuits=table6,
+                engine=engine,
+                jobs=args.jobs,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                max_retries=args.max_retries,
+                timeout=args.timeout,
+            )
+        except ParallelRunError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            for failure in exc.failures:
+                print(f"  {failure.describe()}", file=sys.stderr)
+            if args.checkpoint_dir:
+                print(
+                    f"completed circuits are checkpointed under "
+                    f"{args.checkpoint_dir}; rerun with --resume to skip them",
+                    file=sys.stderr,
+                )
+            return 1
     if args.out:
         Path(args.out).write_text(results.to_json())
         print(f"wrote {args.out}", file=sys.stderr)
@@ -219,18 +268,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tables.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=None,
         metavar="N",
         help="worker processes for the per-circuit sweep "
         "(default: all CPUs; 1 = in-process serial path)",
+    )
+    p_tables.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="persist each circuit's result to DIR/<circuit>.json as it "
+        "completes (cleared first unless --resume)",
+    )
+    p_tables.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip circuits already checkpointed under --checkpoint-dir "
+        "(output is identical to an uninterrupted run)",
+    )
+    p_tables.add_argument(
+        "--max-retries",
+        type=_nonnegative_int_arg,
+        default=1,
+        metavar="N",
+        help="extra attempts per circuit after a worker failure (default 1)",
+    )
+    p_tables.add_argument(
+        "--timeout",
+        type=_positive_float_arg,
+        default=None,
+        metavar="SECONDS",
+        help="per-circuit wall-clock budget on the pool path "
+        "(default: unlimited)",
     )
     p_tables.set_defaults(func=_cmd_tables)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        parser.error("--resume requires --checkpoint-dir")
     engine = Engine()
     code = args.func(args, engine)
     if args.stats:

@@ -13,7 +13,10 @@ Counter naming convention:
 * ``batch.runs`` / ``batch.columns`` -- batch simulations and their total
   column count;
 * ``justify.calls`` -- justification attempts;
-* ``simulator.build`` / ``justifier.build`` -- artifact constructions.
+* ``simulator.build`` / ``justifier.build`` -- artifact constructions;
+* ``parallel.*`` -- runner fault-tolerance bookkeeping (``jobs``,
+  ``retries``, ``timeouts``, ``failures``, ``pool_broken``, ``fallback``,
+  ``resumed``, ``checkpointed``).
 
 Timers accumulate wall-clock seconds under the same names (``enumerate``,
 ``target_sets``, ``justify``, ``generate``).
@@ -89,6 +92,19 @@ class EngineStats:
             "counters": dict(sorted(self.counters.items())),
             "timers": dict(sorted(self.timers.items())),
         }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "EngineStats":
+        """Rebuild a stats object from a :meth:`snapshot` dict.
+
+        Used by the parallel runner's checkpoint files, which persist a
+        worker's instrumentation alongside its results.
+        """
+        stats = cls()
+        stats.counters.update(payload.get("counters", {}))
+        for name, seconds in payload.get("timers", {}).items():
+            stats.add_time(name, float(seconds))
+        return stats
 
     def format(self) -> str:
         """Readable report for ``repro-pdf --stats``."""

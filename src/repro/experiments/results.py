@@ -4,7 +4,9 @@ Plain dataclasses produced by the drivers in
 :mod:`repro.experiments.tables` and rendered by
 :mod:`repro.experiments.formatters`; :class:`ExperimentResults` bundles
 everything with JSON round-tripping for the benchmark harness and the
-``repro-pdf tables --from-json`` cache path.
+``repro-pdf tables --from-json`` cache path.  The per-row ``from_dict``
+constructors are also the deserialization half of the parallel runner's
+checkpoint files (:mod:`repro.parallel.checkpoint`).
 """
 
 from __future__ import annotations
@@ -34,6 +36,13 @@ class Table1Result:
     min_length: int
     max_length: int
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Table1Result":
+        return cls(**{
+            **payload,
+            "kept_paths": [tuple(p) for p in payload["kept_paths"]],
+        })
+
 
 @dataclass
 class Table2Result:
@@ -41,6 +50,13 @@ class Table2Result:
 
     circuit: str
     rows: list[tuple[int, int, int]]  # (i, L_i, N_p(L_i))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Table2Result":
+        return cls(
+            circuit=payload["circuit"],
+            rows=[tuple(r) for r in payload["rows"]],
+        )
 
 
 @dataclass
@@ -52,6 +68,10 @@ class HeuristicOutcome:
     detected_p01: int
     runtime_seconds: float
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HeuristicOutcome":
+        return cls(**payload)
+
 
 @dataclass
 class CircuitBasicResult:
@@ -62,6 +82,19 @@ class CircuitBasicResult:
     p0_total: int
     p01_total: int
     outcomes: dict[str, HeuristicOutcome] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CircuitBasicResult":
+        return cls(
+            circuit=payload["circuit"],
+            i0=payload["i0"],
+            p0_total=payload["p0_total"],
+            p01_total=payload["p01_total"],
+            outcomes={
+                h: HeuristicOutcome.from_dict(o)
+                for h, o in payload["outcomes"].items()
+            },
+        )
 
 
 @dataclass
@@ -76,6 +109,10 @@ class Table6Row:
     p01_detected: int
     tests: int
     runtime_seconds: float
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Table6Row":
+        return cls(**payload)
 
 
 @dataclass
@@ -143,31 +180,13 @@ class ExperimentResults:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentResults":
         payload = json.loads(text)
-        table1 = Table1Result(**{
-            **payload["table1"],
-            "kept_paths": [tuple(p) for p in payload["table1"]["kept_paths"]],
-        })
-        table2 = Table2Result(
-            circuit=payload["table2"]["circuit"],
-            rows=[tuple(r) for r in payload["table2"]["rows"]],
-        )
-        basic = {}
-        for name, entry in payload["basic"].items():
-            outcomes = {
-                h: HeuristicOutcome(**o) for h, o in entry["outcomes"].items()
-            }
-            basic[name] = CircuitBasicResult(
-                circuit=entry["circuit"],
-                i0=entry["i0"],
-                p0_total=entry["p0_total"],
-                p01_total=entry["p01_total"],
-                outcomes=outcomes,
-            )
-        table6 = [Table6Row(**row) for row in payload["table6"]]
         return cls(
             scale=payload["scale"],
-            table1=table1,
-            table2=table2,
-            basic=basic,
-            table6=table6,
+            table1=Table1Result.from_dict(payload["table1"]),
+            table2=Table2Result.from_dict(payload["table2"]),
+            basic={
+                name: CircuitBasicResult.from_dict(entry)
+                for name, entry in payload["basic"].items()
+            },
+            table6=[Table6Row.from_dict(row) for row in payload["table6"]],
         )

@@ -29,7 +29,7 @@ from ..atpg import AtpgConfig
 from ..atpg.enrich import EnrichmentReport
 from ..engine import CircuitSession, Engine
 from ..faults.fault import faults_of_paths
-from ..parallel import CircuitJob, ParallelRunner, resolve_jobs
+from ..parallel import CircuitJob, ParallelRunner, RunCheckpoint, resolve_jobs
 from ..paths.lengths import length_table_for_faults
 from .formatters import (
     format_table1,
@@ -178,17 +178,22 @@ def run_basic_experiments(
     heuristics: Sequence[str] = HEURISTICS,
     engine: Engine | None = None,
     jobs: int | None = 1,
+    max_retries: int = 1,
+    timeout: float | None = None,
 ) -> dict[str, CircuitBasicResult]:
     """Run the basic procedure for every circuit x heuristic (Tables 3-5).
 
     ``jobs`` fans circuits out over :class:`repro.parallel.ParallelRunner`
     (``None`` = all CPUs); results are keyed in ``circuits`` order either
     way and identical to the serial path up to wall-clock fields.
+    ``max_retries``/``timeout`` configure the runner's fault tolerance.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
     if resolve_jobs(jobs) > 1 and len(circuits) > 1:
-        runner = ParallelRunner(jobs, engine=engine)
+        runner = ParallelRunner(
+            jobs, engine=engine, max_retries=max_retries, timeout=timeout
+        )
         outcomes = runner.run(
             CircuitJob(name, scale, tuple(heuristics), run_basic=True)
             for name in circuits
@@ -240,16 +245,21 @@ def run_table6(
     circuits: Sequence[str] = TABLE6_CIRCUITS,
     engine: Engine | None = None,
     jobs: int | None = 1,
+    max_retries: int = 1,
+    timeout: float | None = None,
 ) -> list[Table6Row]:
     """The proposed enrichment procedure on each circuit (Table 6).
 
     ``jobs`` fans circuits out over :class:`repro.parallel.ParallelRunner`
     (``None`` = all CPUs); rows come back in ``circuits`` order either way.
+    ``max_retries``/``timeout`` configure the runner's fault tolerance.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
     if resolve_jobs(jobs) > 1 and len(circuits) > 1:
-        runner = ParallelRunner(jobs, engine=engine)
+        runner = ParallelRunner(
+            jobs, engine=engine, max_retries=max_retries, timeout=timeout
+        )
         outcomes = runner.run(
             CircuitJob(name, scale, run_table6=True) for name in circuits
         )
@@ -268,6 +278,10 @@ def run_all(
     table6_circuits: Sequence[str] = TABLE6_CIRCUITS,
     engine: Engine | None = None,
     jobs: int | None = 1,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    max_retries: int = 1,
+    timeout: float | None = None,
 ) -> ExperimentResults:
     """Regenerate the data behind every table of the paper.
 
@@ -281,20 +295,40 @@ def run_all(
     artifact once.  Tables 1-2 are cheap single-circuit work and stay in
     the parent.  Results are merged in circuit order and identical to
     ``jobs=1`` up to wall-clock fields.
+
+    ``checkpoint_dir`` persists each circuit's result as it completes
+    (see :class:`repro.parallel.RunCheckpoint`); with ``resume=True``,
+    circuits whose matching checkpoint already exists are loaded instead
+    of recomputed -- the merged output is ``canonical_json``-identical to
+    an uninterrupted run.  Without ``resume``, an existing checkpoint
+    directory is cleared first (a fresh run must not inherit stale
+    files).  ``max_retries``/``timeout`` are the runner's fault-tolerance
+    knobs; a circuit that still fails after its retries raises
+    :class:`repro.parallel.ParallelRunError` with every completed
+    circuit's result salvaged (and checkpointed, when enabled).
     """
     scale = get_scale(scale)
     engine = engine or Engine()
     n_jobs = resolve_jobs(jobs)
     basic_names = list(circuits)
     table6_names = list(table6_circuits)
-    if n_jobs > 1 and len(set(basic_names) | set(table6_names)) > 1:
-        ordered = basic_names + [
-            name for name in table6_names if name not in basic_names
-        ]
-        runner = ParallelRunner(n_jobs, engine=engine)
-        outcomes = {
-            result.circuit: result
-            for result in runner.run(
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = RunCheckpoint(checkpoint_dir)
+        if not resume:
+            checkpoint.clear()
+    elif resume:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    ordered = basic_names + [
+        name for name in table6_names if name not in basic_names
+    ]
+    runner = ParallelRunner(
+        n_jobs, engine=engine, max_retries=max_retries, timeout=timeout
+    )
+    outcomes = {
+        result.circuit: result
+        for result in runner.run(
+            [
                 CircuitJob(
                     name,
                     scale,
@@ -303,13 +337,12 @@ def run_all(
                     run_table6=name in table6_names,
                 )
                 for name in ordered
-            )
-        }
-        basic = {name: outcomes[name].basic for name in basic_names}
-        table6 = [outcomes[name].table6 for name in table6_names]
-    else:
-        basic = run_basic_experiments(scale, circuits, engine=engine)
-        table6 = run_table6(scale, table6_circuits, engine=engine)
+            ],
+            checkpoint=checkpoint,
+        )
+    }
+    basic = {name: outcomes[name].basic for name in basic_names}
+    table6 = [outcomes[name].table6 for name in table6_names]
     return ExperimentResults(
         scale=scale.name,
         table1=run_table1(engine=engine),

@@ -1,8 +1,12 @@
-"""Parallel execution layer: per-circuit fan-out over a process pool."""
+"""Parallel execution layer: per-circuit fan-out over a process pool,
+with retry/salvage fault tolerance and checkpoint/resume persistence."""
 
+from .checkpoint import RunCheckpoint
 from .runner import (
     CircuitJob,
     CircuitJobResult,
+    JobFailure,
+    ParallelRunError,
     ParallelRunner,
     execute_job,
     resolve_jobs,
@@ -12,7 +16,10 @@ from .runner import (
 __all__ = [
     "CircuitJob",
     "CircuitJobResult",
+    "JobFailure",
+    "ParallelRunError",
     "ParallelRunner",
+    "RunCheckpoint",
     "resolve_jobs",
     "run_circuit_job",
     "execute_job",

@@ -1,0 +1,129 @@
+"""Crash-safe checkpointing of per-circuit results for resumable sweeps.
+
+A full ``repro-pdf tables`` run costs tens of CPU-minutes; a killed or
+crashed sweep should not discard the circuits that already finished.
+:class:`RunCheckpoint` is the persistence half of that contract (the
+runner's retry/salvage policy is the other half, see
+:mod:`repro.parallel.runner`):
+
+* every completed :class:`~repro.parallel.runner.CircuitJobResult` is
+  written to ``<directory>/<circuit>.json`` the moment it completes,
+  atomically (tmp file + ``os.replace``), so a kill mid-write leaves
+  either a complete checkpoint or none;
+* on resume, a checkpoint is honoured only when its stored parameter
+  envelope matches the job exactly -- same circuit, same full
+  :class:`~repro.experiments.scale.ExperimentScale`, covering sweeps and
+  the same heuristic list in the same order.  Anything else (missing
+  file, truncated/corrupt JSON, stale file from another run
+  configuration) reads as "not done" and the circuit is recomputed, so a
+  resumed run is always `canonical_json`-identical to an uninterrupted
+  one.
+
+Checkpoint file format (version 1)::
+
+    {
+      "version": 1,
+      "circuit": "s641_proxy",
+      "scale": {"name": ..., "max_faults": ..., "p0_min_faults": ...,
+                "max_secondary_attempts": ..., "seed": ...},
+      "run_basic": true,
+      "run_table6": true,
+      "heuristics": ["uncomp", "arbit", "length", "values"],
+      "basic": {... CircuitBasicResult ...} | null,
+      "table6": {... Table6Row ...} | null,
+      "stats": {"counters": {...}, "timers": {...}} | null
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .runner import CircuitJob, CircuitJobResult
+
+__all__ = ["RunCheckpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+class RunCheckpoint:
+    """One-file-per-circuit store of completed job results."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, circuit: str) -> Path:
+        return self.directory / f"{circuit}.json"
+
+    def completed(self) -> set[str]:
+        """Circuit names with a (syntactically present) checkpoint file."""
+        return {path.stem for path in self.directory.glob("*.json")}
+
+    def clear(self) -> None:
+        """Drop every stored checkpoint (start-of-fresh-run hygiene)."""
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+
+    def save(self, result: "CircuitJobResult", job: "CircuitJob") -> Path:
+        """Persist one finished result atomically; returns the file path."""
+        from .runner import effective_heuristics
+
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "scale": asdict(job.scale),
+            "run_basic": job.run_basic,
+            "run_table6": job.run_table6,
+            "heuristics": (
+                list(effective_heuristics(job)) if job.run_basic else []
+            ),
+            **result.to_payload(),
+        }
+        path = self.path_for(result.circuit)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, path)
+        return path
+
+    def load(self, job: "CircuitJob") -> "CircuitJobResult | None":
+        """Stored result for ``job``, or ``None`` when it must be (re)run.
+
+        ``None`` covers: no checkpoint, unreadable/corrupt JSON, a
+        different format version, and any parameter mismatch (scale,
+        sweep coverage, heuristic list/order).
+        """
+        from .runner import CircuitJobResult, effective_heuristics
+
+        try:
+            payload = json.loads(self.path_for(job.circuit).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CHECKPOINT_VERSION:
+            return None
+        if payload.get("circuit") != job.circuit:
+            return None
+        if payload.get("scale") != asdict(job.scale):
+            return None
+        if job.run_basic:
+            basic = payload.get("basic")
+            if not basic:
+                return None
+            stored = list(basic.get("outcomes", {}))
+            if stored != list(effective_heuristics(job)):
+                return None
+        if job.run_table6 and not payload.get("table6"):
+            return None
+        try:
+            return CircuitJobResult.from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunCheckpoint({str(self.directory)!r})"

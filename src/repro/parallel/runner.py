@@ -20,12 +20,37 @@ seed)``.  :class:`ParallelRunner` exploits that:
 
 ``jobs=1`` (or a single job) never touches a pool: work runs in-process
 on the caller's engine, preserving the pre-parallel code path exactly.
+
+Fault tolerance
+---------------
+
+A multi-circuit sweep costs tens of CPU-minutes; one crashed worker must
+not discard every finished circuit.  Workers therefore never propagate
+exceptions: job bodies run guarded and ship back a structured
+:class:`JobFailure` (circuit, phase, traceback).  The runner applies a
+retry policy (``max_retries`` extra attempts per job, default 1), treats
+a completion-free window longer than ``timeout`` seconds as a timeout of
+every outstanding job, and falls back to in-process execution when the
+pool machinery itself breaks (``BrokenProcessPool`` -- e.g. a worker
+OOM-killed mid-job).  Only after every retry is exhausted does it raise a
+single aggregated :class:`ParallelRunError` carrying all salvaged
+results.  Retries, timeouts, fallbacks and failures are recorded on the
+parent engine's stats under ``parallel.*`` counters.
+
+Passing a :class:`~repro.parallel.checkpoint.RunCheckpoint` to
+:meth:`ParallelRunner.run` additionally persists every finished
+:class:`CircuitJobResult` to ``<dir>/<circuit>.json`` as it completes,
+and skips jobs whose matching checkpoint already exists -- the
+resume path behind ``repro-pdf tables --checkpoint-dir D --resume``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback as _tb
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -35,10 +60,13 @@ from ..engine.stats import EngineStats
 if TYPE_CHECKING:  # experiments imports parallel; keep the reverse type-only
     from ..experiments.results import CircuitBasicResult, Table6Row
     from ..experiments.scale import ExperimentScale
+    from .checkpoint import RunCheckpoint
 
 __all__ = [
     "CircuitJob",
     "CircuitJobResult",
+    "JobFailure",
+    "ParallelRunError",
     "ParallelRunner",
     "resolve_jobs",
     "run_circuit_job",
@@ -71,6 +99,15 @@ class CircuitJob:
     run_table6: bool = False
 
 
+def effective_heuristics(job: CircuitJob) -> tuple[str, ...]:
+    """The heuristic list a job will actually run (resolving the default)."""
+    if job.heuristics:
+        return tuple(job.heuristics)
+    from ..experiments.workloads import HEURISTICS
+
+    return tuple(HEURISTICS)
+
+
 @dataclass
 class CircuitJobResult:
     """One circuit's outcome, shipped back from a worker.
@@ -83,6 +120,101 @@ class CircuitJobResult:
     basic: "CircuitBasicResult | None" = None
     table6: "Table6Row | None" = None
     stats: EngineStats | None = None
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (see :meth:`from_payload`; used by checkpoints)."""
+        from dataclasses import asdict
+
+        return {
+            "circuit": self.circuit,
+            "basic": asdict(self.basic) if self.basic is not None else None,
+            "table6": asdict(self.table6) if self.table6 is not None else None,
+            "stats": self.stats.snapshot() if self.stats is not None else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CircuitJobResult":
+        from ..experiments.results import CircuitBasicResult, Table6Row
+
+        basic = payload.get("basic")
+        table6 = payload.get("table6")
+        stats = payload.get("stats")
+        return cls(
+            circuit=payload["circuit"],
+            basic=CircuitBasicResult.from_dict(basic) if basic else None,
+            table6=Table6Row.from_dict(table6) if table6 else None,
+            stats=EngineStats.from_snapshot(stats) if stats else None,
+        )
+
+
+@dataclass
+class JobFailure:
+    """Structured report of one failed job attempt.
+
+    Built inside the worker (or the in-process runner) instead of letting
+    the exception propagate, so one bad circuit cannot abort the sweep
+    and the parent still learns *where* it died: ``phase`` is the
+    pipeline stage (``inject``/``session``/``basic``/``table6``) or the
+    runner-level cause (``timeout``/``pool``).
+    """
+
+    circuit: str
+    phase: str
+    error: str
+    message: str
+    traceback: str = ""
+    attempt: int = 0
+
+    @classmethod
+    def from_exception(
+        cls, circuit: str, phase: str, exc: BaseException, attempt: int = 0
+    ) -> "JobFailure":
+        return cls(
+            circuit=circuit,
+            phase=phase,
+            error=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(_tb.format_exception(exc)),
+            attempt=attempt,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.circuit} [{self.phase}, attempt {self.attempt}]: "
+            f"{self.error}: {self.message}"
+        )
+
+
+class ParallelRunError(RuntimeError):
+    """One or more circuit jobs failed after exhausting their retries.
+
+    Raised only after the whole sweep has been driven to completion:
+    ``results`` holds every circuit that *did* finish (in submission
+    order), ``failures`` one :class:`JobFailure` per lost circuit, so a
+    checkpointed run can be resumed instead of redone.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[JobFailure],
+        results: Sequence[CircuitJobResult],
+    ) -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        names = ", ".join(sorted({f.circuit for f in self.failures}))
+        super().__init__(
+            f"{len(self.failures)} circuit job(s) failed after retries: "
+            f"{names} ({len(self.results)} completed result(s) salvaged)"
+        )
+
+    def details(self) -> str:
+        """Full per-failure report including worker tracebacks."""
+        parts = [str(self)]
+        for failure in self.failures:
+            parts.append(failure.describe())
+            if failure.traceback:
+                parts.append(failure.traceback.rstrip())
+        return "\n".join(parts)
 
 
 def run_circuit_job(job: CircuitJob, engine: Engine) -> CircuitJobResult:
@@ -107,6 +239,70 @@ def execute_job(job: CircuitJob) -> CircuitJobResult:
     return result
 
 
+def _inject_chaos(job: CircuitJob, attempt: int, in_worker: bool) -> None:
+    """Test-only fault injection, keyed off environment variables.
+
+    Environment variables cross process boundaries under every pool start
+    method, unlike monkeypatching, so the failure-path tests use these:
+
+    * ``REPRO_INJECT_FAIL=<circuit>[:<n>]`` -- raise ``RuntimeError`` for
+      the first ``n`` attempts of that circuit (default: every attempt);
+    * ``REPRO_INJECT_SLEEP=<circuit>:<seconds>`` -- stall the job (drives
+      the timeout path);
+    * ``REPRO_INJECT_EXIT=<circuit>`` -- kill the worker process outright
+      (pool workers only; simulates an OOM kill -> ``BrokenProcessPool``).
+    """
+    spec = os.environ.get("REPRO_INJECT_SLEEP")
+    if spec:
+        name, _, seconds = spec.partition(":")
+        if job.circuit == name:
+            time.sleep(float(seconds or 60.0))
+    spec = os.environ.get("REPRO_INJECT_EXIT")
+    if spec and in_worker and job.circuit == spec:
+        os._exit(13)
+    spec = os.environ.get("REPRO_INJECT_FAIL")
+    if spec:
+        name, _, count = spec.partition(":")
+        if job.circuit == name and attempt < (int(count) if count else 1 << 30):
+            raise RuntimeError(
+                f"injected failure ({job.circuit}, attempt {attempt})"
+            )
+
+
+def _run_job_guarded(
+    job: CircuitJob, engine: Engine, attempt: int, in_worker: bool
+) -> CircuitJobResult | JobFailure:
+    """Run a job, converting any exception into a :class:`JobFailure`."""
+    from ..experiments.tables import run_basic_circuit, run_table6_circuit
+
+    result = CircuitJobResult(circuit=job.circuit)
+    phase = "inject"
+    try:
+        _inject_chaos(job, attempt, in_worker)
+        phase = "session"
+        session = engine.session(job.circuit)
+        if job.run_basic:
+            phase = "basic"
+            result.basic = run_basic_circuit(
+                session, job.scale, job.heuristics or None
+            )
+        if job.run_table6:
+            phase = "table6"
+            result.table6 = run_table6_circuit(session, job.scale)
+    except Exception as exc:
+        return JobFailure.from_exception(job.circuit, phase, exc, attempt)
+    return result
+
+
+def _pool_entry(job: CircuitJob, attempt: int) -> CircuitJobResult | JobFailure:
+    """Guarded pool-worker entry point: never raises, ships stats back."""
+    engine = Engine()
+    outcome = _run_job_guarded(job, engine, attempt, in_worker=True)
+    if isinstance(outcome, CircuitJobResult):
+        outcome.stats = engine.stats
+    return outcome
+
+
 def _init_pool_worker() -> None:
     # Workers must not read or grow the module-level one-shot simulator
     # cache (fork inherits the parent's populated cache).
@@ -126,29 +322,246 @@ class ParallelRunner:
     engine:
         The parent engine.  In-process jobs run directly on it; pool
         workers build their own and their stats are merged back into it.
+    max_retries:
+        Extra attempts per job after its first failure (default 1).
+    timeout:
+        Optional per-job wall-clock budget in seconds, enforced on the
+        pool path: when no job completes for ``timeout`` seconds, every
+        outstanding job (each necessarily running at least that long) is
+        marked timed out.  In-process runs cannot be preempted and ignore
+        it.
     """
 
-    def __init__(self, jobs: int | None = None, engine: Engine | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        engine: Engine | None = None,
+        max_retries: int = 1,
+        timeout: float | None = None,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.engine = engine if engine is not None else Engine()
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
 
-    def run(self, jobs: Iterable[CircuitJob]) -> list[CircuitJobResult]:
-        """Execute every job; results in submission (circuit) order."""
+    def run(
+        self,
+        jobs: Iterable[CircuitJob],
+        checkpoint: "RunCheckpoint | None" = None,
+    ) -> list[CircuitJobResult]:
+        """Execute every job; results in submission (circuit) order.
+
+        With ``checkpoint``, finished results are persisted as they
+        complete and jobs whose matching checkpoint already exists are
+        skipped (their stored result is returned in place; its stats are
+        *not* re-merged -- that work happened in a previous run).  Raises
+        :class:`ParallelRunError` -- carrying all completed results --
+        only after every failed job has exhausted its retries.
+        """
         job_list: Sequence[CircuitJob] = list(jobs)
-        if self.jobs == 1 or len(job_list) < 2:
-            return [run_circuit_job(job, self.engine) for job in job_list]
-        workers = min(self.jobs, len(job_list))
-        with ProcessPoolExecutor(
+        results: dict[str, CircuitJobResult] = {}
+        failures: list[JobFailure] = []
+        pending: list[CircuitJob] = []
+        for job in job_list:
+            cached = checkpoint.load(job) if checkpoint is not None else None
+            if cached is not None:
+                results[job.circuit] = cached
+                self.engine.stats.count("parallel.resumed")
+            else:
+                pending.append(job)
+        if pending:
+            self.engine.stats.count("parallel.jobs", len(pending))
+            if self.jobs == 1 or len(pending) < 2:
+                self._run_serial(pending, results, failures, checkpoint)
+            else:
+                self._run_pool(pending, results, failures, checkpoint)
+        ordered = [
+            results[job.circuit]
+            for job in job_list
+            if job.circuit in results
+        ]
+        if failures:
+            self.engine.stats.count("parallel.failures", len(failures))
+            raise ParallelRunError(failures, ordered)
+        return ordered
+
+    # -- shared bookkeeping --------------------------------------------
+
+    def _record(
+        self,
+        job: CircuitJob,
+        result: CircuitJobResult,
+        results: dict[str, CircuitJobResult],
+        checkpoint: "RunCheckpoint | None",
+    ) -> None:
+        if result.stats is not None:
+            self.engine.stats.merge(result.stats)
+        results[result.circuit] = result
+        if checkpoint is not None:
+            checkpoint.save(result, job)
+            self.engine.stats.count("parallel.checkpointed")
+
+    def _attempt_serial(
+        self, job: CircuitJob, failures: list[JobFailure]
+    ) -> CircuitJobResult | None:
+        """In-process execution with the retry policy applied."""
+        last: JobFailure | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.engine.stats.count("parallel.retries")
+            outcome = _run_job_guarded(job, self.engine, attempt, in_worker=False)
+            if isinstance(outcome, CircuitJobResult):
+                return outcome
+            last = outcome
+        assert last is not None
+        failures.append(last)
+        return None
+
+    def _run_serial(
+        self,
+        jobs: Sequence[CircuitJob],
+        results: dict[str, CircuitJobResult],
+        failures: list[JobFailure],
+        checkpoint: "RunCheckpoint | None",
+    ) -> None:
+        for job in jobs:
+            outcome = self._attempt_serial(job, failures)
+            if outcome is not None:
+                self._record(job, outcome, results, checkpoint)
+
+    # -- pool path -----------------------------------------------------
+
+    def _run_pool(
+        self,
+        jobs: Sequence[CircuitJob],
+        results: dict[str, CircuitJobResult],
+        failures: list[JobFailure],
+        checkpoint: "RunCheckpoint | None",
+    ) -> None:
+        queue: list[tuple[CircuitJob, int]] = [(job, 0) for job in jobs]
+        while queue:
+            failed, timed_out, unfinished, broken = self._pool_round(
+                queue, results, checkpoint
+            )
+            queue = []
+            for job, attempt, failure in failed:
+                if attempt < self.max_retries:
+                    self.engine.stats.count("parallel.retries")
+                    queue.append((job, attempt + 1))
+                else:
+                    failures.append(failure)
+            for job, attempt in timed_out:
+                self.engine.stats.count("parallel.timeouts")
+                if attempt < self.max_retries:
+                    self.engine.stats.count("parallel.retries")
+                    queue.append((job, attempt + 1))
+                else:
+                    failures.append(
+                        JobFailure(
+                            circuit=job.circuit,
+                            phase="timeout",
+                            error="TimeoutError",
+                            message=(
+                                f"no completion within {self.timeout}s"
+                            ),
+                            attempt=attempt,
+                        )
+                    )
+            if broken:
+                # The pool machinery itself died (a worker was killed
+                # mid-job); a new pool over the same jobs would face the
+                # same hazard, so finish everything left in-process.
+                self.engine.stats.count("parallel.pool_broken")
+                fallback = unfinished + queue
+                self.engine.stats.count("parallel.fallback", len(fallback))
+                for job, _attempt in fallback:
+                    outcome = self._attempt_serial(job, failures)
+                    if outcome is not None:
+                        self._record(job, outcome, results, checkpoint)
+                return
+
+    def _pool_round(
+        self,
+        queue: Sequence[tuple[CircuitJob, int]],
+        results: dict[str, CircuitJobResult],
+        checkpoint: "RunCheckpoint | None",
+    ) -> tuple[
+        list[tuple[CircuitJob, int, JobFailure]],
+        list[tuple[CircuitJob, int]],
+        list[tuple[CircuitJob, int]],
+        bool,
+    ]:
+        """One pool pass over ``queue``; completed results are recorded
+        (and checkpointed) eagerly, in completion order."""
+        failed: list[tuple[CircuitJob, int, JobFailure]] = []
+        timed_out: list[tuple[CircuitJob, int]] = []
+        unfinished: list[tuple[CircuitJob, int]] = []
+        broken = False
+        workers = min(self.jobs, len(queue))
+        pool = ProcessPoolExecutor(
             max_workers=workers, initializer=_init_pool_worker
-        ) as pool:
-            futures = [pool.submit(execute_job, job) for job in job_list]
-            # Collect in submission order, not completion order: the
-            # merge must be deterministic regardless of scheduling.
-            results = [future.result() for future in futures]
-        for result in results:
-            if result.stats is not None:
-                self.engine.stats.merge(result.stats)
-        return results
+        )
+        clean = True
+        try:
+            future_map = {
+                pool.submit(_pool_entry, job, attempt): (job, attempt)
+                for job, attempt in queue
+            }
+            # `remaining` = futures not yet handed off to an outcome list;
+            # everything still in it when the pool breaks must be re-run.
+            remaining = set(future_map)
+            while remaining and not broken:
+                done, _ = wait(
+                    remaining, timeout=self.timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Nothing finished within the per-job budget: every
+                    # outstanding job has been running at least that long.
+                    for future in remaining:
+                        future.cancel()
+                        timed_out.append(future_map[future])
+                    remaining = set()
+                    clean = False
+                    break
+                for future in done:
+                    remaining.discard(future)
+                    job, attempt = future_map[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        unfinished.append((job, attempt))
+                        unfinished.extend(future_map[f] for f in remaining)
+                        remaining = set()
+                        clean = False
+                        break
+                    except Exception as exc:  # e.g. unpicklable result
+                        failed.append(
+                            (
+                                job,
+                                attempt,
+                                JobFailure.from_exception(
+                                    job.circuit, "pool", exc, attempt
+                                ),
+                            )
+                        )
+                        continue
+                    if isinstance(outcome, JobFailure):
+                        failed.append((job, attempt, outcome))
+                    else:
+                        self._record(job, outcome, results, checkpoint)
+        finally:
+            # After a timeout or pool breakage, waiting would block on a
+            # stuck or dead worker; abandon the pool instead.
+            pool.shutdown(wait=clean, cancel_futures=True)
+        return failed, timed_out, unfinished, broken
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ParallelRunner(jobs={self.jobs})"
+        return (
+            f"ParallelRunner(jobs={self.jobs}, max_retries={self.max_retries}, "
+            f"timeout={self.timeout})"
+        )

@@ -53,7 +53,8 @@ def dump_tests(
 
 
 def loads_tests(text: str, netlist: Netlist) -> list[TwoPatternTest]:
-    """Parse tests, validating the input order against ``netlist``."""
+    """Parse tests, validating the ``# circuit:`` and ``# inputs:``
+    headers against ``netlist`` (files without headers are accepted)."""
     tests: list[TwoPatternTest] = []
     expected_inputs = list(netlist.input_names)
     for line_no, raw in enumerate(text.splitlines(), start=1):
@@ -62,13 +63,35 @@ def loads_tests(text: str, netlist: Netlist) -> list[TwoPatternTest]:
             continue
         if line.startswith("#"):
             body = line[1:].strip()
-            if body.startswith("inputs:"):
+            if body.startswith("circuit:"):
+                declared_name = body.split(":", 1)[1].strip()
+                if declared_name and declared_name != netlist.name:
+                    raise TestFileError(
+                        f"line {line_no}: test file is for circuit "
+                        f"'{declared_name}', not '{netlist.name}'"
+                    )
+            elif body.startswith("inputs:"):
                 declared = body.split(":", 1)[1].split()
                 if declared != expected_inputs:
+                    if len(declared) != len(expected_inputs):
+                        detail = (
+                            f"file has {len(declared)} inputs, circuit has "
+                            f"{len(expected_inputs)}"
+                        )
+                    else:
+                        pos, got, want = next(
+                            (i, a, b)
+                            for i, (a, b) in enumerate(
+                                zip(declared, expected_inputs)
+                            )
+                            if a != b
+                        )
+                        detail = (
+                            f"first difference at position {pos}: file has "
+                            f"'{got}', circuit has '{want}'"
+                        )
                     raise TestFileError(
-                        f"line {line_no}: input order mismatch "
-                        f"(file has {len(declared)} inputs, circuit has "
-                        f"{len(expected_inputs)})"
+                        f"line {line_no}: input order mismatch ({detail})"
                     )
             continue
         if "->" not in line:

@@ -63,6 +63,21 @@ class TestReporting:
         assert snap == {"counters": {"a": 1, "b": 1}, "timers": {"t": 0.25}}
         assert list(snap["counters"]) == ["a", "b"]
 
+    def test_from_snapshot_roundtrip(self):
+        stats = EngineStats()
+        stats.count("parallel.jobs", 3)
+        stats.count("justify.calls", 7)
+        stats.add_time("session", 1.25)
+        rebuilt = EngineStats.from_snapshot(stats.snapshot())
+        assert rebuilt.snapshot() == stats.snapshot()
+        # the rebuilt object is live, not a frozen view
+        rebuilt.count("parallel.jobs")
+        assert rebuilt.counter("parallel.jobs") == 4
+
+    def test_from_snapshot_empty(self):
+        rebuilt = EngineStats.from_snapshot({})
+        assert rebuilt.snapshot() == {"counters": {}, "timers": {}}
+
     def test_format_empty(self):
         assert "no activity" in EngineStats().format()
 

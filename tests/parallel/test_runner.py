@@ -10,10 +10,18 @@ import pytest
 
 from repro.engine import Engine, EngineStats
 from repro.experiments import ExperimentScale, run_all, run_basic_experiments
+from repro.experiments.results import (
+    CircuitBasicResult,
+    HeuristicOutcome,
+    Table6Row,
+)
 from repro.parallel import (
     CircuitJob,
     CircuitJobResult,
+    JobFailure,
+    ParallelRunError,
     ParallelRunner,
+    RunCheckpoint,
     execute_job,
     resolve_jobs,
     run_circuit_job,
@@ -130,6 +138,251 @@ class TestRunner:
         outcome_b = shipped.basic.outcomes["values"]
         assert outcome_a.detected_p0 == outcome_b.detected_p0
         assert outcome_a.tests == outcome_b.tests
+
+
+def _values_jobs(circuits=CIRCUITS):
+    return [
+        CircuitJob(name, TINY, ("values",), run_basic=True) for name in circuits
+    ]
+
+
+class TestFailurePaths:
+    """Injected worker failures (via the REPRO_INJECT_* chaos hooks, which
+    cross process boundaries where monkeypatching cannot)."""
+
+    def test_injected_failure_retried_then_salvaged(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "s27:1")  # fail 1st attempt only
+        engine = Engine()
+        runner = ParallelRunner(jobs=2, engine=engine, max_retries=1)
+        results = runner.run(_values_jobs())
+        assert [r.circuit for r in results] == list(CIRCUITS)
+        assert all(r.basic is not None for r in results)
+        assert engine.stats.counter("parallel.retries") == 1
+        assert engine.stats.counter("parallel.failures") == 0
+
+    def test_exhausted_retries_aggregate_and_salvage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "s27")  # fail every attempt
+        engine = Engine()
+        runner = ParallelRunner(jobs=2, engine=engine, max_retries=1)
+        with pytest.raises(ParallelRunError) as excinfo:
+            runner.run(_values_jobs())
+        error = excinfo.value
+        assert "s27" in str(error)
+        assert [f.circuit for f in error.failures] == ["s27"]
+        failure = error.failures[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.phase == "inject"
+        assert failure.error == "RuntimeError"
+        assert "injected failure" in failure.message
+        assert "RuntimeError" in failure.traceback
+        # the healthy circuit's finished result is salvaged, not discarded
+        assert [r.circuit for r in error.results] == ["b03_proxy"]
+        assert error.results[0].basic is not None
+        assert engine.stats.counter("parallel.failures") == 1
+        assert "s27" in error.details()
+
+    def test_in_process_path_applies_same_retry_policy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "s27:1")
+        engine = Engine()
+        runner = ParallelRunner(jobs=1, engine=engine, max_retries=1)
+        results = runner.run(_values_jobs(("s27",)))
+        assert results[0].basic is not None
+        assert engine.stats.counter("parallel.retries") == 1
+
+    def test_broken_pool_falls_back_in_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_EXIT", "s27")  # worker dies mid-job
+        engine = Engine()
+        runner = ParallelRunner(jobs=2, engine=engine)
+        results = runner.run(_values_jobs())
+        assert [r.circuit for r in results] == list(CIRCUITS)
+        assert all(r.basic is not None for r in results)
+        assert engine.stats.counter("parallel.pool_broken") >= 1
+        assert engine.stats.counter("parallel.fallback") >= 1
+        # the dead circuit was re-run in-process on the caller's engine
+        assert results[0].stats is None
+
+    def test_timeout_marks_outstanding_jobs_failed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_SLEEP", "c17:30")
+        engine = Engine()
+        runner = ParallelRunner(jobs=2, engine=engine, max_retries=0, timeout=2.0)
+        # no run flags: the healthy job only builds a session, so the only
+        # slow job is the injected sleeper
+        jobs = [CircuitJob("s27", TINY), CircuitJob("c17", TINY)]
+        with pytest.raises(ParallelRunError) as excinfo:
+            runner.run(jobs)
+        assert [f.circuit for f in excinfo.value.failures] == ["c17"]
+        assert excinfo.value.failures[0].phase == "timeout"
+        assert [r.circuit for r in excinfo.value.results] == ["s27"]
+        assert engine.stats.counter("parallel.timeouts") == 1
+
+    def test_constructor_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1, max_retries=-1)
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1, timeout=0.0)
+
+
+def _fake_result(circuit="s27"):
+    stats = EngineStats()
+    stats.count("batch.runs", 2)
+    stats.add_time("generate", 1.5)
+    return CircuitJobResult(
+        circuit=circuit,
+        basic=CircuitBasicResult(
+            circuit=circuit,
+            i0=1,
+            p0_total=2,
+            p01_total=3,
+            outcomes={"values": HeuristicOutcome(1, 2, 3, 0.5)},
+        ),
+        table6=Table6Row(
+            circuit=circuit,
+            i0=1,
+            p0_total=2,
+            p0_detected=1,
+            p01_total=3,
+            p01_detected=2,
+            tests=4,
+            runtime_seconds=0.25,
+        ),
+        stats=stats,
+    )
+
+
+class TestRunCheckpoint:
+    JOB = CircuitJob("s27", TINY, ("values",), run_basic=True, run_table6=True)
+
+    def test_roundtrip(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path / "ckpt")
+        result = _fake_result()
+        path = checkpoint.save(result, self.JOB)
+        assert path.name == "s27.json"
+        assert checkpoint.completed() == {"s27"}
+        loaded = checkpoint.load(self.JOB)
+        assert loaded is not None
+        assert loaded.to_payload() == result.to_payload()
+        assert loaded.basic.outcomes["values"].tests == 2
+        assert loaded.stats.counter("batch.runs") == 2
+        assert loaded.stats.timers["generate"] == pytest.approx(1.5)
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert RunCheckpoint(tmp_path).load(self.JOB) is None
+
+    def test_corrupt_file_is_none(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.path_for("s27").write_text('{"version": 1, "circ')  # truncated
+        assert checkpoint.load(self.JOB) is None
+
+    def test_scale_mismatch_is_none(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.save(_fake_result(), self.JOB)
+        other_scale = ExperimentScale(
+            name="tiny",  # same name, different working point
+            max_faults=99,
+            p0_min_faults=30,
+            max_secondary_attempts=4,
+            seed=1,
+        )
+        other = CircuitJob("s27", other_scale, ("values",), run_basic=True)
+        assert checkpoint.load(other) is None
+
+    def test_missing_sweep_is_none(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        basic_only = CircuitJob("s27", TINY, ("values",), run_basic=True)
+        result = _fake_result()
+        result.table6 = None
+        checkpoint.save(result, basic_only)
+        assert checkpoint.load(basic_only) is not None
+        assert checkpoint.load(self.JOB) is None  # also wants table6
+
+    def test_heuristics_mismatch_is_none(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.save(_fake_result(), self.JOB)
+        wider = CircuitJob(
+            "s27", TINY, ("values", "arbit"), run_basic=True, run_table6=True
+        )
+        assert checkpoint.load(wider) is None
+
+    def test_clear_drops_everything(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.save(_fake_result(), self.JOB)
+        checkpoint.clear()
+        assert checkpoint.completed() == set()
+
+
+class TestCheckpointResume:
+    def test_runner_skips_checkpointed_jobs(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        jobs = _values_jobs(("s27",))
+        engine = Engine()
+        first = ParallelRunner(jobs=1, engine=engine).run(
+            jobs, checkpoint=checkpoint
+        )
+        assert engine.stats.counter("parallel.checkpointed") == 1
+        resumed_engine = Engine()
+        second = ParallelRunner(jobs=1, engine=resumed_engine).run(
+            jobs, checkpoint=checkpoint
+        )
+        assert resumed_engine.stats.counter("parallel.resumed") == 1
+        assert resumed_engine.stats.counter("parallel.jobs") == 0
+        # no generation work happened on the resumed engine
+        assert resumed_engine.stats.counter("justify.calls") == 0
+        assert (
+            second[0].basic.outcomes["values"].tests
+            == first[0].basic.outcomes["values"].tests
+        )
+
+    def test_killed_run_resumes_identically(
+        self, tmp_path, monkeypatch, serial_results
+    ):
+        """The acceptance scenario: a --jobs 4 run dies after the first
+        circuit completes; rerunning with resume=True yields canonical
+        output byte-identical to an uninterrupted run."""
+        ckpt = tmp_path / "ckpt"
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "b03_proxy")
+        with pytest.raises(ParallelRunError) as excinfo:
+            run_all(
+                TINY,
+                circuits=CIRCUITS,
+                table6_circuits=CIRCUITS,
+                jobs=4,
+                checkpoint_dir=str(ckpt),
+                max_retries=0,
+            )
+        assert "b03_proxy" in str(excinfo.value)
+        assert (ckpt / "s27.json").exists()
+        assert not (ckpt / "b03_proxy.json").exists()
+        monkeypatch.delenv("REPRO_INJECT_FAIL")
+        engine = Engine()
+        resumed = run_all(
+            TINY,
+            circuits=CIRCUITS,
+            table6_circuits=CIRCUITS,
+            jobs=4,
+            checkpoint_dir=str(ckpt),
+            resume=True,
+            engine=engine,
+        )
+        assert engine.stats.counter("parallel.resumed") == 1
+        assert resumed.canonical_json() == serial_results.canonical_json()
+
+    def test_fresh_run_clears_stale_checkpoints(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "bogus.json").write_text("{}")
+        run_all(
+            TINY,
+            circuits=("s27",),
+            table6_circuits=("s27",),
+            jobs=1,
+            checkpoint_dir=str(ckpt),
+        )
+        assert not (ckpt / "bogus.json").exists()
+        assert (ckpt / "s27.json").exists()
+
+    def test_resume_without_dir_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_all(TINY, circuits=("s27",), table6_circuits=(), resume=True)
 
 
 class TestStatsMerge:

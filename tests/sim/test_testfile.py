@@ -57,6 +57,50 @@ class TestRoundTrip:
         assert back == tests
 
 
+class TestCircuitHeader:
+    """The ``# circuit:`` header must match the netlist it is applied to
+    (the file/circuit validation the module docstring promises)."""
+
+    def test_mismatched_circuit_rejected(self, c17):
+        text = "# circuit: s27\n# inputs: N1 N2 N3 N6 N7\n11111 -> 11111\n"
+        with pytest.raises(TestFileError, match=r"'s27', not 'c17'"):
+            loads_tests(text, c17)
+
+    def test_matching_circuit_accepted(self, c17):
+        tests = sample_tests(c17)
+        text = dumps_tests(c17, tests)
+        assert "# circuit: c17" in text
+        assert loads_tests(text, c17) == tests
+
+    def test_missing_header_accepted(self, c17):
+        # files without the circuit header stay legal (pre-header format)
+        assert len(loads_tests("11111 -> 11111\n", c17)) == 1
+
+    def test_empty_header_accepted(self, c17):
+        assert loads_tests("# circuit:\n", c17) == []
+
+    def test_mismatch_reported_with_line_number(self, c17):
+        text = "11111 -> 11111\n# circuit: s27\n"
+        with pytest.raises(TestFileError, match="line 2"):
+            loads_tests(text, c17)
+
+    def test_x_valued_roundtrip_through_validated_header(self, c17):
+        # partially specified patterns survive the round trip with both
+        # headers present and checked
+        tests = [
+            TwoPatternTest({c17.input_indices[0]: Triple.parse("0x1")}),
+            TwoPatternTest({c17.input_indices[2]: Triple.parse("xx1")}),
+        ]
+        text = dumps_tests(c17, tests)
+        assert "# circuit: c17" in text
+        back = loads_tests(text, c17)
+        # unspecified inputs come back as explicit xxx, so compare per input
+        assert back[0].triple_for(c17.input_indices[0]) is Triple.parse("0x1")
+        assert back[1].triple_for(c17.input_indices[2]) is Triple.parse("xx1")
+        assert not back[0].is_fully_specified(c17)
+        assert back == loads_tests(dumps_tests(c17, back), c17)
+
+
 class TestErrors:
     def test_missing_separator(self, c17):
         with pytest.raises(TestFileError, match="separator"):
@@ -70,9 +114,21 @@ class TestErrors:
         with pytest.raises(TestFileError, match="line 1"):
             loads_tests("1111ز -> 11111\n", c17)
 
-    def test_input_order_mismatch(self, c17):
+    def test_input_count_mismatch_reports_counts(self, c17):
         text = "# inputs: A B C\n"
-        with pytest.raises(TestFileError, match="mismatch"):
+        with pytest.raises(
+            TestFileError, match=r"file has 3 inputs, circuit has 5"
+        ):
+            loads_tests(text, c17)
+
+    def test_input_order_mismatch_reports_first_difference(self, c17):
+        # same width (5), but N6 and N3 swapped: the message must name the
+        # first differing position, not just the (equal) counts
+        text = "# inputs: N1 N2 N6 N3 N7\n"
+        with pytest.raises(
+            TestFileError,
+            match=r"position 2: file has 'N6', circuit has 'N3'",
+        ):
             loads_tests(text, c17)
 
     def test_blank_lines_and_comments_ignored(self, c17):

@@ -122,22 +122,92 @@ class TestCommands:
             outputs[jobs] = payload
         assert outputs["1"] == outputs["2"]
 
-    def test_tables_rejects_bad_jobs(self):
-        with pytest.raises(ValueError):
-            main(
-                [
-                    "tables",
-                    "--scale",
-                    "smoke",
-                    "--quick",
-                    "--max-faults",
-                    "120",
-                    "--p0-min-faults",
-                    "30",
-                    "--jobs",
-                    "0",
-                ]
-            )
+    def test_tables_rejects_bad_jobs(self, capsys):
+        """--jobs 0 is a clean argparse usage error (exit code 2), not a
+        raw ValueError traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tables", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_tables_rejects_non_integer_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tables", "--jobs", "many"])
+        assert excinfo.value.code == 2
+
+    def test_tables_rejects_negative_retries(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tables", "--max-retries", "-1"])
+        assert excinfo.value.code == 2
+
+    def test_tables_rejects_nonpositive_timeout(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tables", "--timeout", "0"])
+        assert excinfo.value.code == 2
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tables", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_tables_checkpoint_resume_identity(self, tmp_path, capsys):
+        """A checkpointed --quick run rerun with --resume recomputes
+        nothing and produces identical deterministic output."""
+        ckpt = tmp_path / "ckpt"
+        base = [
+            "tables",
+            "--scale",
+            "smoke",
+            "--quick",
+            "--max-faults",
+            "120",
+            "--p0-min-faults",
+            "30",
+            "--checkpoint-dir",
+            str(ckpt),
+        ]
+        outputs = {}
+        for label, extra in (("fresh", []), ("resumed", ["--resume"])):
+            out_path = tmp_path / f"{label}.json"
+            code = main(base + extra + ["--out", str(out_path)])
+            assert code == 0
+            capsys.readouterr()
+            payload = json.loads(out_path.read_text())
+            for entry in payload["basic"].values():
+                for outcome in entry["outcomes"].values():
+                    outcome["runtime_seconds"] = 0.0
+            for row in payload["table6"]:
+                row["runtime_seconds"] = 0.0
+            outputs[label] = payload
+        assert outputs["fresh"] == outputs["resumed"]
+        assert ckpt.exists() and any(ckpt.glob("*.json"))
+
+    def test_tables_failure_reports_aggregated_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # s641_proxy is the --quick sweep's (only) circuit
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "s641_proxy")
+        code = main(
+            [
+                "tables",
+                "--scale",
+                "smoke",
+                "--quick",
+                "--max-faults",
+                "120",
+                "--p0-min-faults",
+                "30",
+                "--max-retries",
+                "0",
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "s641_proxy" in err
+        assert "--resume" in err
 
     def test_tables_quick_smoke_with_cache(self, tmp_path, capsys):
         out_path = tmp_path / "results.json"
