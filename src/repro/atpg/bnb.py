@@ -21,12 +21,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..algebra.ternary import ZERO
+from ..algebra.ternary import X, ZERO
 from ..algebra.triple import Triple
 from ..circuit.netlist import Netlist
-from ..sim.batch import BatchSimulator
+from ..sim.batch import BatchSimulator, ConeSimulator
 from ..sim.vectors import TwoPatternTest
-from .justify import Justifier, JustifyStats, _SearchState, _UNASSIGNED
+from .justify import Justifier, JustifyStats, _SearchState
 from .requirements import RequirementSet
 
 __all__ = ["BranchAndBoundJustifier", "SearchExhausted"]
@@ -59,9 +59,9 @@ class BranchAndBoundJustifier:
         Raises :class:`SearchExhausted` when ``node_limit`` decisions were
         spent first.
         """
-        state = _SearchState(self._engine._support(requirements))
+        state, cone = self._engine._make_state(requirements)
         budget = _Budget(nodes=node_limit)
-        found = self._search(state, requirements, budget)
+        found = self._search(state, requirements, budget, cone)
         if found is None:
             return None
         return self._complete(found)
@@ -73,13 +73,17 @@ class BranchAndBoundJustifier:
     # ------------------------------------------------------------------
 
     def _search(
-        self, state: _SearchState, requirements: RequirementSet, budget: _Budget
+        self,
+        state: _SearchState,
+        requirements: RequirementSet,
+        budget: _Budget,
+        cone: ConeSimulator | None,
     ) -> _SearchState | None:
         if budget.nodes <= 0:
             raise SearchExhausted("branch-and-bound node limit exhausted")
         budget.nodes -= 1
 
-        status = self._engine._fixpoint(state, requirements, JustifyStats())
+        status = self._engine._fixpoint(state, requirements, JustifyStats(), cone)
         if status == "conflict":
             return None
         if status == "covered":
@@ -95,27 +99,21 @@ class BranchAndBoundJustifier:
             pi, position = state.unresolved()[0]
             preferred = ZERO
         for value in (preferred, 1 - preferred):
-            child = self._clone(state)
+            child = state.clone()
             child.assign(pi, position, value)
-            found = self._search(child, requirements, budget)
+            found = self._search(child, requirements, budget, cone)
             if found is not None:
                 return found
         return None
-
-    @staticmethod
-    def _clone(state: _SearchState) -> _SearchState:
-        clone = _SearchState(state.support)
-        clone.b1 = dict(state.b1)
-        clone.b3 = dict(state.b3)
-        return clone
 
     def _complete(self, state: _SearchState) -> TwoPatternTest:
         """Deterministically complete a covered state to a full test."""
         assignment: dict[int, Triple] = {}
         for pi in self.netlist.input_indices:
-            if pi in state.b1:
-                v1 = state.b1[pi] if state.b1[pi] != _UNASSIGNED else ZERO
-                v3 = state.b3[pi] if state.b3[pi] != _UNASSIGNED else v1
+            if pi in state.row_of:
+                v1, v3 = state.endpoints(pi)
+                v1 = v1 if v1 != X else ZERO
+                v3 = v3 if v3 != X else v1
             else:
                 v1 = v3 = ZERO
             assignment[pi] = Triple.transition(v1, v3)

@@ -28,6 +28,18 @@ requirements conflict with the union can never be added, and a candidate
 already covered by the current test needs no targeting (the fault
 simulation of step 3 will drop it).
 
+Both filters -- and the ``n_delta`` computation of the ``values``
+heuristic -- are *screened in batch*: each pool's compiled requirements are
+stacked once (:class:`~repro.sim.cover.StackedRequirements`), so the
+already-covered filter is one ``covered_single`` call per justified test,
+the conflict/``n_delta`` screen is one ``delta_against`` call per
+requirement union, and the closing fault simulation of step 3 is one call
+per test.  The per-candidate decisions (selection order, tie-breaking,
+``considered`` bookkeeping) still run in pool order over the precomputed
+arrays, so the batched path makes *identical* choices to the scalar loops;
+``REPRO_SCALAR_COVER=1`` (snapshotted per process, :mod:`repro.envflags`)
+restores those loops.
+
 Compaction heuristics (Section 2.2): ``uncomp`` (no secondaries),
 ``arbit`` (fault-list order), ``length`` (longest path first), ``values``
 (minimum ``n_delta`` -- fewest new value components first).
@@ -42,10 +54,12 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from ..algebra.ternary import X
 from ..circuit.netlist import Netlist
+from ..envflags import scalar_cover_requested
 from ..faults.universe import FaultRecord
 from ..sim.batch import BatchSimulator
-from ..sim.cover import CompiledRequirements
+from ..sim.cover import CompiledRequirements, StackedRequirements
 from .heuristics import order_pool
 from .justify import Justifier, JustifyResult, JustifyStats
 from .requirements import RequirementSet
@@ -134,7 +148,14 @@ class _PoolState:
 
 
 class TestGenerator:
-    """Dynamic-compaction path-delay-fault test generator."""
+    """Dynamic-compaction path-delay-fault test generator.
+
+    ``vectorized`` selects the candidate-screening kernel: ``True`` stacks
+    each pool's requirements once and screens coverage/conflicts/``n_delta``
+    with array ops; ``False`` keeps the per-candidate loops; ``None``
+    (default) vectorizes unless ``REPRO_SCALAR_COVER`` is set.  Both paths
+    make identical selections (see module docstring).
+    """
 
     def __init__(
         self,
@@ -142,16 +163,26 @@ class TestGenerator:
         config: AtpgConfig | None = None,
         simulator: BatchSimulator | None = None,
         justifier: Justifier | None = None,
+        vectorized: bool | None = None,
     ) -> None:
         self.netlist = netlist
         self.config = config or AtpgConfig()
         self.simulator = simulator or BatchSimulator(netlist)
         self.justifier = justifier or Justifier(netlist, self.simulator)
+        # Screening counters land in the same sink as the justifier's.
+        self._stats = self.justifier._stats
+        if vectorized is None:
+            vectorized = not scalar_cover_requested()
+        self.vectorized = vectorized
         self._bnb = None
         if self.config.engine == "bnb":
             from .bnb import BranchAndBoundJustifier
 
             self._bnb = BranchAndBoundJustifier(netlist, self.simulator)
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self._stats is not None:
+            self._stats.count(name, value)
 
     def _justify(self, requirements: RequirementSet, rng) -> JustifyResult | None:
         """Dispatch to the configured justification engine."""
@@ -182,6 +213,10 @@ class TestGenerator:
         compiled: list[list[CompiledRequirements]] = [
             [CompiledRequirements(r.sens.requirements) for r in state.records]
             for state in states
+        ]
+        stacked: list[StackedRequirements | None] = [
+            StackedRequirements(pool_compiled) if self.vectorized else None
+            for pool_compiled in compiled
         ]
         tests: list[GeneratedTest] = []
         aborted = 0
@@ -222,6 +257,7 @@ class TestGenerator:
                     targeted,
                     states,
                     compiled,
+                    stacked,
                     skip=(0, primary_index),
                     rng=rng,
                     merge_stats=merge_stats,
@@ -229,7 +265,9 @@ class TestGenerator:
                 attempts_total += attempts
                 successes_total += successes
 
-            detected = self._drop_detected(result.sim_codes, states, compiled)
+            detected = self._drop_detected(
+                result.sim_codes, states, compiled, stacked
+            )
             # The test was justified against U A(p_j) for P(t), so every
             # targeted fault must be among the detections.
             targeted_keys = {record.fault.key() for record in targeted}
@@ -263,6 +301,15 @@ class TestGenerator:
 
     # ------------------------------------------------------------------
 
+    def _dense_union(self, requirements: RequirementSet) -> np.ndarray:
+        """The requirement union as an ``(n_nodes, 3)`` code array (x = free)."""
+        dense = np.full((len(self.netlist), 3), X, dtype=np.int8)
+        for node, triple in requirements.values.items():
+            dense[node, 0] = triple.v1
+            dense[node, 1] = triple.v2
+            dense[node, 2] = triple.v3
+        return dense
+
     def _compact(
         self,
         result: JustifyResult,
@@ -270,6 +317,7 @@ class TestGenerator:
         targeted: list[FaultRecord],
         states: list[_PoolState],
         compiled: list[list[CompiledRequirements]],
+        stacked: list[StackedRequirements | None],
         skip: tuple[int, int],
         rng: random.Random,
         merge_stats,
@@ -294,17 +342,41 @@ class TestGenerator:
                 if (pool_index, i) != skip
             ]
             considered = [False] * len(state.records)
+            stack = stacked[pool_index]
+            # Batched screens, recomputed only when their input changes
+            # (identity comparison on objects we keep alive): coverage
+            # depends on the justified test, conflicts/n_delta on the
+            # requirement union.
+            covered_for = None
+            covered_vec: np.ndarray | None = None
+            screen_for = None
+            delta_vec: np.ndarray | None = None
+            conflict_vec: np.ndarray | None = None
             while candidates:
                 if budget is not None and pool_attempts >= budget:
                     break
                 # Drop candidates the current test already covers: the
                 # closing fault simulation will detect them for free.
-                sim_column = result.sim_codes[:, :, None]
+                if stack is not None:
+                    if covered_for is not result:
+                        covered_vec = stack.covered_single(result.sim_codes)
+                        covered_for = result
+                        self._count("compact.screen_calls")
+                        self._count("compact.screen_columns", stack.n_faults)
+                    sim_column = None
+                else:
+                    sim_column = result.sim_codes[:, :, None]
                 keep: list[int] = []
                 for i in candidates:
                     if considered[i]:
                         continue
-                    if compiled[pool_index][i].covered_by(sim_column)[0]:
+                    if covered_vec is not None:
+                        is_covered = bool(covered_vec[i])
+                    else:
+                        is_covered = bool(
+                            compiled[pool_index][i].covered_by(sim_column)[0]
+                        )
+                    if is_covered:
                         considered[i] = True
                         continue
                     keep.append(i)
@@ -312,13 +384,24 @@ class TestGenerator:
                 if not candidates:
                     break
 
+                if stack is not None and screen_for is not requirements:
+                    delta_vec, conflict_vec = stack.delta_against(
+                        self._dense_union(requirements)
+                    )
+                    screen_for = requirements
+                    self._count("compact.screen_calls")
+                    self._count("compact.screen_columns", stack.n_faults)
+
                 pick: int | None = None
                 if config.heuristic == "values":
                     best_delta: int | None = None
                     for i in candidates:
-                        delta = requirements.delta_count(
-                            state.records[i].sens.requirements
-                        )
+                        if conflict_vec is not None:
+                            delta = None if conflict_vec[i] else int(delta_vec[i])
+                        else:
+                            delta = requirements.delta_count(
+                                state.records[i].sens.requirements
+                            )
                         if delta is None:
                             considered[i] = True
                             continue
@@ -327,9 +410,13 @@ class TestGenerator:
                             pick = i
                 else:  # arbit / length: fixed pool order
                     for i in candidates:
-                        if not requirements.conflicts_with(
-                            state.records[i].sens.requirements
-                        ):
+                        if conflict_vec is not None:
+                            conflicted = bool(conflict_vec[i])
+                        else:
+                            conflicted = requirements.conflicts_with(
+                                state.records[i].sens.requirements
+                            )
+                        if not conflicted:
                             pick = i
                             break
                         considered[i] = True
@@ -359,11 +446,21 @@ class TestGenerator:
         sim_codes: np.ndarray,
         states: list[_PoolState],
         compiled: list[list[CompiledRequirements]],
+        stacked: list[StackedRequirements | None],
     ) -> list[FaultRecord]:
         """Fault-simulate one finished test; drop and return detections."""
         detected: list[FaultRecord] = []
         sim_column = sim_codes[:, :, None]
-        for state, pool_compiled in zip(states, compiled):
+        for state, pool_compiled, stack in zip(states, compiled, stacked):
+            if stack is not None:
+                covered = stack.covered_single(sim_codes)
+                self._count("compact.screen_calls")
+                self._count("compact.screen_columns", stack.n_faults)
+                for i in state.live_indices():
+                    if covered[i]:
+                        state.alive[i] = False
+                        detected.append(state.records[i])
+                continue
             for i in state.live_indices():
                 if pool_compiled[i].covered_by(sim_column)[0]:
                     state.alive[i] = False

@@ -27,13 +27,22 @@ Key properties used for efficiency:
   works, and the remaining inputs are filled with random stable values.
 * all candidate values of one fixpoint round are simulated as a single
   batch (one column per candidate) by :class:`~repro.sim.batch.BatchSimulator`.
-* only inputs in the transitive fanin of required lines are searched; other
-  inputs cannot affect the requirements.
+* trial simulation runs on the **cone-restricted** sub-simulator
+  (:meth:`~repro.sim.batch.BatchSimulator.restricted`): the requirements
+  depend only on the transitive-fanin cone of the required lines, so only
+  that cone is simulated.  Codes on cone nodes are identical to a full
+  simulation (the tested cone-equivalence invariant), and
+  ``REPRO_FULL_SIM=1`` (snapshotted per process, :mod:`repro.envflags`)
+  falls back to simulating the whole netlist.
+* the partial assignment is kept as one ``(n_support, 3)`` ternary-code
+  array updated in place by :class:`_SearchState`, so fixpoint rounds
+  build their candidate batch by array copy instead of re-walking dicts.
 """
 
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,13 +51,12 @@ from ..algebra.ternary import ONE, X, ZERO
 from ..algebra.triple import Triple
 from ..circuit.analysis import support_inputs
 from ..circuit.netlist import Netlist
-from ..sim.batch import BatchSimulator
+from ..envflags import full_sim_requested
+from ..sim.batch import LRU_CACHE_SIZE, BatchSimulator, ConeSimulator
 from ..sim.vectors import TwoPatternTest
 from .requirements import RequirementSet
 
 __all__ = ["Justifier", "JustifyResult", "JustifyStats", "has_implication_conflict"]
-
-_UNASSIGNED = -1
 
 
 @dataclass
@@ -72,72 +80,107 @@ class JustifyResult:
 
 
 class _SearchState:
-    """Endpoint assignments (pattern 1 / pattern 2) for the support inputs."""
+    """Endpoint assignments (pattern 1 / pattern 2) for the support inputs.
+
+    The state *is* the base simulation column: ``base[row]`` holds the
+    ``(v1, v2, v3)`` ternary codes of support input ``support[row]``, with
+    ``x`` marking unassigned endpoints and the intermediate component kept
+    derived (stable value when both endpoints agree, else ``x``).  Rows
+    follow ``support`` order, which matches the cone simulator's input
+    rows, so fixpoint rounds hand ``base`` to the simulator as-is.
+    """
 
     def __init__(self, support: list[int]) -> None:
         self.support = support
-        self.b1 = {pi: _UNASSIGNED for pi in support}
-        self.b3 = {pi: _UNASSIGNED for pi in support}
+        self.row_of = {pi: row for row, pi in enumerate(support)}
+        self.base = np.full((len(support), 3), X, dtype=np.int8)
 
     def unresolved(self) -> list[tuple[int, int]]:
-        """Unspecified (input, position) pairs; position is 1 or 3."""
-        positions = []
-        for pi in self.support:
-            if self.b1[pi] == _UNASSIGNED:
-                positions.append((pi, 1))
-            if self.b3[pi] == _UNASSIGNED:
-                positions.append((pi, 3))
-        return positions
+        """Unspecified (input, position) pairs; position is 1 or 3.
+
+        Order is the scan order the random decisions rely on: support rows
+        ascending, position 1 before 3 within a row -- exactly the
+        row-major order of ``np.nonzero``.
+        """
+        rows, cols = np.nonzero(self.base[:, 0::2] == X)
+        support = self.support
+        return [
+            (support[row], 1 if col == 0 else 3) for row, col in zip(rows, cols)
+        ]
 
     def assign(self, pi: int, position: int, value: int) -> None:
-        if position == 1:
-            self.b1[pi] = value
-        else:
-            self.b3[pi] = value
+        row = self.row_of[pi]
+        self.base[row, 0 if position == 1 else 2] = value
+        v1, v3 = self.base[row, 0], self.base[row, 2]
+        self.base[row, 1] = v1 if (v1 == v3 and v1 != X) else X
+
+    def endpoints(self, pi: int) -> tuple[int, int]:
+        """The (pattern 1, pattern 2) codes of one input (``x`` = unset)."""
+        row = self.row_of[pi]
+        return int(self.base[row, 0]), int(self.base[row, 2])
 
     def triple_of(self, pi: int) -> Triple:
-        v1 = self.b1[pi] if self.b1[pi] != _UNASSIGNED else X
-        v3 = self.b3[pi] if self.b3[pi] != _UNASSIGNED else X
-        if v1 == X or v3 == X:
-            v2 = X
-        else:
-            v2 = v1 if v1 == v3 else X
-        return Triple.of(v1, v2, v3)
+        row = self.row_of[pi]
+        return Triple.of(*(int(v) for v in self.base[row]))
+
+    def clone(self) -> "_SearchState":
+        copy = _SearchState.__new__(_SearchState)
+        copy.support = self.support
+        copy.row_of = self.row_of
+        copy.base = self.base.copy()
+        return copy
 
     def half_specified_input(self) -> tuple[int, int, int] | None:
         """An input with exactly one endpoint set: (pi, open position, value).
 
         Implements the paper's preference for completing inputs to stable
-        values before resorting to random decisions.
+        values before resorting to random decisions.  First match in
+        support order, as before vectorization.
         """
-        for pi in self.support:
-            one, three = self.b1[pi], self.b3[pi]
-            if one != _UNASSIGNED and three == _UNASSIGNED:
-                return (pi, 3, one)
-            if one == _UNASSIGNED and three != _UNASSIGNED:
-                return (pi, 1, three)
-        return None
+        base = self.base
+        open1 = base[:, 0] == X
+        open3 = base[:, 2] == X
+        rows = np.nonzero(open1 != open3)[0]
+        if rows.size == 0:
+            return None
+        row = int(rows[0])
+        pi = self.support[row]
+        if open3[row]:  # endpoint 1 set, complete position 3 to it
+            return (pi, 3, int(base[row, 0]))
+        return (pi, 1, int(base[row, 2]))
 
 
 class Justifier:
-    """Reusable justification engine bound to one netlist."""
+    """Reusable justification engine bound to one netlist.
+
+    ``use_cones`` selects the trial-simulation kernel: ``True`` restricts
+    each justification to the fanin cone of its required lines, ``False``
+    simulates the full netlist, ``None`` (default) restricts unless
+    ``REPRO_FULL_SIM`` is set.
+    """
 
     def __init__(
         self,
         netlist: Netlist,
         simulator: BatchSimulator | None = None,
         stats=None,
+        use_cones: bool | None = None,
     ) -> None:
         """``stats`` is an optional EngineStats-compatible sink (``count``
         + ``timer``); when set, each :meth:`justify` call records
-        ``justify.calls`` and accumulates wall-clock time under
-        ``justify``."""
+        ``justify.calls``, accumulates wall-clock time under ``justify``,
+        and tracks the cone saving as ``justify.cone_nodes`` (node-columns
+        actually simulated) vs ``justify.full_nodes`` (node-columns a full
+        simulation would have cost)."""
         self.netlist = netlist
         self.simulator = simulator or BatchSimulator(netlist)
         self._stats = stats
+        if use_cones is None:
+            use_cones = not full_sim_requested()
+        self.use_cones = use_cones
         self._pi_row = {pi: row for row, pi in enumerate(netlist.input_indices)}
         self._n_pis = len(netlist.input_indices)
-        self._support_cache: dict[frozenset[int], list[int]] = {}
+        self._support_cache: OrderedDict[frozenset[int], list[int]] = OrderedDict()
 
     # ------------------------------------------------------------------
 
@@ -146,38 +189,37 @@ class Justifier:
         cached = self._support_cache.get(key)
         if cached is None:
             cached = support_inputs(self.netlist, key)
-            if len(self._support_cache) > 4096:
-                self._support_cache.clear()
             self._support_cache[key] = cached
+            while len(self._support_cache) > LRU_CACHE_SIZE:
+                self._support_cache.popitem(last=False)
+        else:
+            self._support_cache.move_to_end(key)
         return cached
 
-    def _base_codes(self, state: _SearchState) -> np.ndarray:
-        """Current assignment as one ``(n_pis, 3)`` code column."""
-        base = np.full((self._n_pis, 3), X, dtype=np.int8)
-        for pi in state.support:
-            triple = state.triple_of(pi)
-            row = self._pi_row[pi]
-            base[row, 0] = triple.v1
-            base[row, 1] = triple.v2
-            base[row, 2] = triple.v3
-        return base
+    def _cone(self, requirements: RequirementSet) -> ConeSimulator | None:
+        """The cone simulator for a requirement set (None on the full path)."""
+        if not self.use_cones:
+            return None
+        return self.simulator.restricted(requirements.values.keys())
 
-    @staticmethod
-    def _with_candidate(
-        base: np.ndarray, row: int, position: int, value: int
-    ) -> np.ndarray:
-        """Copy of ``base`` with one endpoint set (intermediate re-derived)."""
-        column = base.copy()
-        column[row, 0 if position == 1 else 2] = value
-        v1, v3 = column[row, 0], column[row, 2]
-        column[row, 1] = v1 if (v1 == v3 and v1 != X) else X
-        return column
+    def _make_state(
+        self, requirements: RequirementSet
+    ) -> tuple[_SearchState, ConeSimulator | None]:
+        cone = self._cone(requirements)
+        support = cone.support if cone is not None else self._support(requirements)
+        return _SearchState(support), cone
+
+    def _count_sim(self, columns: int, simulated_nodes: int) -> None:
+        if self._stats is not None:
+            self._stats.count("justify.cone_nodes", simulated_nodes * columns)
+            self._stats.count("justify.full_nodes", self.simulator.n_nodes * columns)
 
     def _fixpoint(
         self,
         state: _SearchState,
         requirements: RequirementSet,
         stats: JustifyStats,
+        cone: ConeSimulator | None,
     ) -> str:
         """Assign all necessary values.
 
@@ -185,35 +227,68 @@ class Justifier:
         satisfied) or ``"stuck"`` (a decision is needed).
         """
         compiled = requirements.compiled()
+        if cone is not None:
+            compiled = cone.localize(compiled)
+            simulator = cone
+            full_rows = None
+        else:
+            simulator = self.simulator
+            full_rows = np.array(
+                [self._pi_row[pi] for pi in state.support], dtype=np.int64
+            )
         while True:
             stats.rounds += 1
-            unresolved = state.unresolved()
-            base = self._base_codes(state)
-            columns = [base]
-            for pi, position in unresolved:
-                row = self._pi_row[pi]
-                columns.append(self._with_candidate(base, row, position, ZERO))
-                columns.append(self._with_candidate(base, row, position, ONE))
-            batch = np.stack(columns, axis=2)  # (n_pis, 3, K)
-            sim = self.simulator.run_codes(batch)
+            # Unresolved (row, endpoint) pairs in scan order (row asc,
+            # endpoint 1 before 3); column 1+2i tries ZERO at pair i,
+            # column 2+2i tries ONE, column 0 is the unmodified base.
+            rows, endpoint_sel = np.nonzero(state.base[:, 0::2] == X)
+            pos = endpoint_sel * 2  # base-array column: 0 or 2
+            n_unresolved = rows.size
+            if cone is not None:
+                base = state.base
+                sim_rows = rows
+            else:
+                base = np.full((self._n_pis, 3), X, dtype=np.int8)
+                base[full_rows] = state.base
+                sim_rows = full_rows[rows]
+            k = 1 + 2 * n_unresolved
+            batch = np.repeat(base[:, :, None], k, axis=2)  # (rows, 3, K)
+            col_zero = 1 + 2 * np.arange(n_unresolved)
+            col_one = col_zero + 1
+            batch[sim_rows, pos, col_zero] = ZERO
+            batch[sim_rows, pos, col_one] = ONE
+            patched_rows = np.concatenate([sim_rows, sim_rows])
+            patched_cols = np.concatenate([col_zero, col_one])
+            v1 = batch[patched_rows, 0, patched_cols]
+            v3 = batch[patched_rows, 2, patched_cols]
+            batch[patched_rows, 1, patched_cols] = np.where(
+                (v1 == v3) & (v1 != X), v1, X
+            )
+            sim = simulator.run_codes(batch)
             stats.simulations += 1
+            self._count_sim(k, simulator.n_nodes)
             consistent = compiled.consistent_with(sim)
             if not consistent[0]:
                 return "conflict"
             if compiled.covered_by(sim[:, :, :1])[0]:
                 return "covered"
-            changed = False
-            for index, (pi, position) in enumerate(unresolved):
-                zero_ok = bool(consistent[1 + 2 * index])
-                one_ok = bool(consistent[2 + 2 * index])
-                if not zero_ok and not one_ok:
-                    return "conflict"
-                if zero_ok != one_ok:
-                    state.assign(pi, position, ZERO if zero_ok else ONE)
-                    stats.necessary_assignments += 1
-                    changed = True
-            if not changed:
-                return "stuck" if unresolved else "conflict"
+            zero_ok = consistent[col_zero]
+            one_ok = consistent[col_one]
+            if (~zero_ok & ~one_ok).any():
+                return "conflict"
+            forced = zero_ok != one_ok
+            if not forced.any():
+                return "stuck" if n_unresolved else "conflict"
+            forced_rows = rows[forced]
+            state.base[forced_rows, pos[forced]] = np.where(
+                zero_ok[forced], ZERO, ONE
+            )
+            f1 = state.base[forced_rows, 0]
+            f3 = state.base[forced_rows, 2]
+            state.base[forced_rows, 1] = np.where(
+                (f1 == f3) & (f1 != X), f1, X
+            )
+            stats.necessary_assignments += int(forced.sum())
 
     # ------------------------------------------------------------------
 
@@ -238,10 +313,10 @@ class Justifier:
         rng: random.Random,
     ) -> JustifyResult | None:
         stats = JustifyStats()
-        state = _SearchState(self._support(requirements))
+        state, cone = self._make_state(requirements)
         covered = False
         while True:
-            status = self._fixpoint(state, requirements, stats)
+            status = self._fixpoint(state, requirements, stats, cone)
             if status == "conflict":
                 return None
             if status == "covered":
@@ -264,17 +339,21 @@ class Justifier:
         # of three-valued simulation guarantees coverage is preserved.
         assignment: dict[int, Triple] = {}
         for pi in self.netlist.input_indices:
-            if pi in state.b1:
-                v1, v3 = state.b1[pi], state.b3[pi]
-                v1 = v1 if v1 != _UNASSIGNED else rng.randint(ZERO, ONE)
-                v3 = v3 if v3 != _UNASSIGNED else rng.randint(ZERO, ONE)
+            if pi in state.row_of:
+                v1, v3 = state.endpoints(pi)
+                v1 = v1 if v1 != X else rng.randint(ZERO, ONE)
+                v3 = v3 if v3 != X else rng.randint(ZERO, ONE)
             else:
                 v1 = v3 = rng.randint(ZERO, ONE)  # outside the support cone
             assignment[pi] = Triple.transition(v1, v3)
         test = TwoPatternTest(assignment)
 
+        # The final verification simulates the full netlist: downstream
+        # consumers (secondary screening, fault simulation) need codes on
+        # every node, not just the cone.
         sim = self.simulator.run_triples([assignment])
         stats.simulations += 1
+        self._count_sim(1, self.simulator.n_nodes)
         if not requirements.compiled().covered_by(sim)[0]:
             if covered:  # pragma: no cover - would indicate a simulator bug
                 raise AssertionError("monotonicity violated: covered test regressed")
@@ -291,12 +370,16 @@ def has_implication_conflict(
     fixpoint derives a hard conflict -- some input position where both
     values contradict the requirements, or a requirement already
     contradicted -- no test can exist and the fault is undetectable.
+
+    Pass an existing :class:`Justifier` (e.g. a session-owned one) when
+    screening many faults: a bare netlist compiles a throwaway simulator
+    per call.
     """
     justifier = (
         netlist_or_justifier
         if isinstance(netlist_or_justifier, Justifier)
         else Justifier(netlist_or_justifier)
     )
-    state = _SearchState(justifier._support(requirements))
-    status = justifier._fixpoint(state, requirements, JustifyStats())
+    state, cone = justifier._make_state(requirements)
+    status = justifier._fixpoint(state, requirements, JustifyStats(), cone)
     return status == "conflict"

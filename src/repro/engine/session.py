@@ -19,8 +19,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..atpg.enrich import generate_enriched
 from ..atpg.generator import AtpgConfig, generate_basic
-from ..atpg.justify import Justifier, has_implication_conflict
-from ..atpg.requirements import RequirementSet
+from ..atpg.justify import Justifier
 from ..circuit.library import load_circuit
 from ..circuit.netlist import Netlist
 from ..circuit.transform import pdf_ready
@@ -119,14 +118,6 @@ class CircuitSession:
             self.stats.hit("target_sets")
             return cached
         self.stats.miss("target_sets")
-        implication_filter = None
-        if filter_implications:
-            justifier = self.justifier
-
-            def implication_filter(record: FaultRecord) -> bool:
-                requirements = RequirementSet(record.sens.requirements)
-                return not has_implication_conflict(justifier, requirements)
-
         enumeration = self.enumeration(max_faults)
         with self.stats.timer("target_sets"):
             targets = build_target_sets(
@@ -134,8 +125,8 @@ class CircuitSession:
                 max_faults=max_faults,
                 p0_min_faults=p0_min_faults,
                 mode=mode,
-                implication_filter=implication_filter,
                 enumeration=enumeration,
+                justifier=self.justifier if filter_implications else None,
             )
         self._target_sets[key] = targets
         return targets

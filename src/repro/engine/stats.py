@@ -9,10 +9,20 @@ engine imports.
 Counter naming convention:
 
 * ``<cache>.hit`` / ``<cache>.miss`` -- memoized-accessor outcomes
-  (``enumerate``, ``target_sets``, ``fault_simulator``);
+  (``enumerate``, ``target_sets``, ``fault_simulator``, and the
+  cone-compilation cache ``cone`` with its extra ``cone.compile`` for
+  misses that could not reuse another seed key's compilation);
 * ``batch.runs`` / ``batch.columns`` -- batch simulations and their total
-  column count;
+  column count (cone-restricted runs are included, and additionally
+  counted as ``cone.runs`` / ``cone.columns``);
 * ``justify.calls`` -- justification attempts;
+* ``justify.cone_nodes`` / ``justify.full_nodes`` -- node-columns the
+  justifier actually simulated vs what full-netlist simulation would have
+  cost; their ratio is the cone restriction's saving (equal when
+  ``REPRO_FULL_SIM=1``);
+* ``compact.screen_calls`` / ``compact.screen_columns`` -- batched
+  candidate screens in the generator (covered / conflict / ``n_delta``)
+  and the fault columns they covered;
 * ``simulator.build`` / ``justifier.build`` -- artifact constructions;
 * ``parallel.*`` -- runner fault-tolerance bookkeeping (``jobs``,
   ``retries``, ``timeouts``, ``failures``, ``pool_broken``, ``fallback``,

@@ -97,6 +97,7 @@ def build_target_sets(
     use_distances: bool = True,
     implication_filter: Callable[[FaultRecord], bool] | None = None,
     enumeration: "EnumerationResult | None" = None,
+    justifier=None,
 ) -> "TargetSets":
     """Construct ``P0`` and ``P1`` for a circuit.
 
@@ -105,12 +106,25 @@ def build_target_sets(
     ``implication_filter`` receives each surviving record and returns False
     for faults proven undetectable by implications (see
     :func:`repro.atpg.justify.has_implication_conflict` for the standard
-    choice).  A precomputed ``enumeration`` (e.g. from a
+    choice).  Alternatively pass a session-owned
+    :class:`repro.atpg.justify.Justifier` as ``justifier`` to apply that
+    standard filter without building a throwaway justifier (and its
+    compiled simulator) per call; ``implication_filter`` wins when both are
+    given.  A precomputed ``enumeration`` (e.g. from a
     :class:`repro.engine.CircuitSession` cache) skips the path enumeration;
     it must have been produced with the same ``max_faults`` cap.
     """
     from ..paths.enumerate import enumerate_paths
     from ..paths.lengths import length_table_for_faults
+
+    if implication_filter is None and justifier is not None:
+        # Lazy import: faults must not depend on atpg at module level.
+        from ..atpg.justify import has_implication_conflict
+        from ..atpg.requirements import RequirementSet
+
+        def implication_filter(record: FaultRecord) -> bool:
+            requirements = RequirementSet(record.sens.requirements)
+            return not has_implication_conflict(justifier, requirements)
 
     if enumeration is None:
         enumeration = enumerate_paths(

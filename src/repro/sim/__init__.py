@@ -1,6 +1,6 @@
 """Simulation layer: waveform-triple simulators and robust fault simulation."""
 
-from .batch import BatchSimulator
+from .batch import BatchSimulator, ConeSimulator
 from .cover import CompiledRequirements, StackedRequirements
 from .faultsim import FaultSimulator, detected_count, detection_matrix
 from .logicsim import simulate_logic
@@ -17,6 +17,7 @@ from .waveform import render_test, render_waveforms
 
 __all__ = [
     "BatchSimulator",
+    "ConeSimulator",
     "CompiledRequirements",
     "StackedRequirements",
     "FaultSimulator",

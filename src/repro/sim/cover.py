@@ -81,6 +81,24 @@ class CompiledRequirements:
         contradiction = (observed != X) & (observed != self.values[:, None])
         return ~np.any(contradiction, axis=0)
 
+    def remapped(self, index_map: np.ndarray) -> "CompiledRequirements":
+        """Copy with node indices translated through ``index_map``.
+
+        Used by :class:`~repro.sim.batch.ConeSimulator` to rebase
+        requirements into cone-local rows; every node must be mapped
+        (``index_map[node] >= 0``).
+        """
+        result = CompiledRequirements.__new__(CompiledRequirements)
+        nodes = index_map[self.nodes]
+        if self.num_components and nodes.min() < 0:
+            missing = self.nodes[nodes < 0][:3]
+            raise ValueError(f"requirement nodes outside the cone: {missing.tolist()}")
+        result.nodes = nodes
+        result.positions = self.positions
+        result.values = self.values
+        result.num_components = self.num_components
+        return result
+
     def __len__(self) -> int:
         return self.num_components
 
@@ -154,6 +172,38 @@ class StackedRequirements:
                     observed == values[:, :, None]
                 ).all(axis=1)
         return out
+
+    def covered_single(self, sim_codes: np.ndarray) -> np.ndarray:
+        """Boolean vector ``(n_faults,)`` for one test's codes ``(n_nodes, 3)``.
+
+        Convenience for the generator's per-test screening: equivalent to
+        ``covered_matrix(sim_codes[:, :, None])[:, 0]``.
+        """
+        return self.covered_matrix(sim_codes[:, :, None])[:, 0]
+
+    def delta_against(self, dense_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched ``n_delta`` / conflict screening against a requirement union.
+
+        ``dense_values``: int8 array ``(n_nodes, 3)`` of the current union
+        ``U A(p_j)``, with ``x`` marking unconstrained components.  Returns
+        ``(delta, conflict)`` over the fault axis: ``delta[i]`` counts fault
+        ``i``'s components not already implied by the union
+        (:meth:`repro.algebra.triple.Triple.new_components_vs` summed over
+        its lines, plus fully new lines), and ``conflict[i]`` is True when
+        some component contradicts the union (the batched equivalents of
+        ``RequirementSet.delta_count`` returning ``None`` /
+        ``RequirementSet.conflicts_with``).
+        """
+        delta = np.zeros(self.n_faults, dtype=np.int64)
+        conflict = np.zeros(self.n_faults, dtype=bool)
+        for rows, nodes, positions, values in self.buckets:
+            if nodes is None:  # no specified components: nothing new, no conflict
+                continue
+            observed = dense_values[nodes, positions]  # (group, L)
+            unconstrained = observed == X
+            delta[rows] = unconstrained.sum(axis=1)
+            conflict[rows] = (~unconstrained & (observed != values)).any(axis=1)
+        return delta, conflict
 
     def __len__(self) -> int:
         return self.n_faults

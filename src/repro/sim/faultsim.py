@@ -15,12 +15,12 @@ Cost: one levelized batch simulation plus a covering check.  The covering
 check is vectorized across the whole fault population by default (all
 faults' requirements stacked into padded arrays once, see
 :class:`~repro.sim.cover.StackedRequirements`); set ``REPRO_SCALAR_COVER=1``
-to fall back to the original per-fault loop.
+to fall back to the original per-fault loop (the flag is snapshotted on
+first use -- see :mod:`repro.envflags`).
 """
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Sequence
@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..circuit.netlist import Netlist
+from ..envflags import SCALAR_COVER_ENV, scalar_cover_requested
 from ..faults.universe import FaultRecord
 from .batch import BatchSimulator
 from .cover import CompiledRequirements, StackedRequirements
@@ -42,19 +43,8 @@ __all__ = [
     "mark_pool_worker",
     "detection_matrix",
     "detected_count",
+    "SCALAR_COVER_ENV",
 ]
-
-#: Environment flag forcing the pre-vectorization per-fault covering loop.
-SCALAR_COVER_ENV = "REPRO_SCALAR_COVER"
-
-
-def _scalar_cover_requested() -> bool:
-    return os.environ.get(SCALAR_COVER_ENV, "").strip().lower() in (
-        "1",
-        "true",
-        "yes",
-        "on",
-    )
 
 
 class FaultSimulator:
@@ -80,7 +70,7 @@ class FaultSimulator:
             CompiledRequirements(record.sens.requirements) for record in self.records
         ]
         if vectorized is None:
-            vectorized = not _scalar_cover_requested()
+            vectorized = not scalar_cover_requested()
         self.vectorized = vectorized
         self._stacked = StackedRequirements(self._compiled) if vectorized else None
 

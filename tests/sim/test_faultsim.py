@@ -176,14 +176,23 @@ class TestVectorizedCovering:
         assert simulator.vectorized
 
     def test_scalar_env_escape_hatch(self, s27, monkeypatch):
+        from repro import envflags
         from repro.sim.faultsim import SCALAR_COVER_ENV
 
         targets = build_target_sets(s27, max_faults=200, p0_min_faults=5)
+        # The flag is snapshotted per process; reset() re-reads it (and the
+        # final reset restores the true environment for later tests).
         monkeypatch.setenv(SCALAR_COVER_ENV, "1")
-        scalar = FaultSimulator(s27, targets.all_records)
-        assert not scalar.vectorized
-        monkeypatch.setenv(SCALAR_COVER_ENV, "0")
-        assert FaultSimulator(s27, targets.all_records).vectorized
+        envflags.reset()
+        try:
+            scalar = FaultSimulator(s27, targets.all_records)
+            assert not scalar.vectorized
+            monkeypatch.setenv(SCALAR_COVER_ENV, "0")
+            envflags.reset()
+            assert FaultSimulator(s27, targets.all_records).vectorized
+        finally:
+            monkeypatch.undo()
+            envflags.reset()
         tests = random_tests(s27, 10, seed=1)
         vec = FaultSimulator(s27, targets.all_records, vectorized=True)
         assert np.array_equal(

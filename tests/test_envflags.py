@@ -1,0 +1,56 @@
+"""Process-wide environment flag snapshots (repro.envflags)."""
+
+import pytest
+
+from repro import envflags
+
+
+@pytest.fixture(autouse=True)
+def clean_snapshot(monkeypatch):
+    """Each test starts and ends with a fresh environment read."""
+    envflags.reset()
+    yield
+    monkeypatch.undo()
+    envflags.reset()
+
+
+@pytest.mark.parametrize("raw", ["1", "true", "TRUE", " yes ", "On"])
+def test_truthy_values(monkeypatch, raw):
+    monkeypatch.setenv(envflags.FULL_SIM_ENV, raw)
+    envflags.reset()
+    assert envflags.full_sim_requested()
+
+
+@pytest.mark.parametrize("raw", ["", "0", "false", "off", "no", "2"])
+def test_falsy_values(monkeypatch, raw):
+    monkeypatch.setenv(envflags.SCALAR_COVER_ENV, raw)
+    envflags.reset()
+    assert not envflags.scalar_cover_requested()
+
+
+def test_unset_is_false(monkeypatch):
+    monkeypatch.delenv(envflags.FULL_SIM_ENV, raising=False)
+    monkeypatch.delenv(envflags.SCALAR_COVER_ENV, raising=False)
+    envflags.reset()
+    assert not envflags.full_sim_requested()
+    assert not envflags.scalar_cover_requested()
+
+
+def test_snapshot_ignores_later_changes(monkeypatch):
+    monkeypatch.delenv(envflags.FULL_SIM_ENV, raising=False)
+    envflags.reset()
+    assert not envflags.full_sim_requested()
+    # Flipping the environment *without* reset() must not change the
+    # answer: the flag is read once per process.
+    monkeypatch.setenv(envflags.FULL_SIM_ENV, "1")
+    assert not envflags.full_sim_requested()
+    envflags.reset()
+    assert envflags.full_sim_requested()
+
+
+def test_flags_are_independent(monkeypatch):
+    monkeypatch.setenv(envflags.SCALAR_COVER_ENV, "1")
+    monkeypatch.delenv(envflags.FULL_SIM_ENV, raising=False)
+    envflags.reset()
+    assert envflags.scalar_cover_requested()
+    assert not envflags.full_sim_requested()

@@ -9,13 +9,16 @@ covering kernel attack):
   generation runs, P0 u P1 fault simulation), cold engine every repeat;
 * ``detection_matrix_vectorized`` / ``detection_matrix_scalar`` -- one
   ``FaultSimulator.detection_matrix`` call over the ``s641_proxy``
-  default-scale fault universe, per covering kernel.
+  default-scale fault universe, per covering kernel;
+* ``justify_cone`` / ``justify_full`` -- a fixed sample of ``s641_proxy``
+  P0 justifications on the cone-restricted vs the full-netlist kernel
+  (the inner loop PR 4 optimizes; see benchmarks/bench_justify_cone.py).
 
 Each entry records the best of ``--repeats`` runs (wall clock, seconds).
 With ``--baseline`` the current numbers are compared entry by entry and
 the process exits non-zero when any entry is more than ``--max-regression``
 slower (missing entries also fail).  CI runs this against the committed
-``benchmarks/BENCH_PR2.json``; refresh that file with ``--update-baseline``
+``benchmarks/BENCH_PR4.json``; refresh that file with ``--update-baseline``
 on a quiet machine when a deliberate change moves the numbers.
 """
 
@@ -95,9 +98,41 @@ def bench_detection_matrix(repeats: int) -> dict[str, float]:
     return results
 
 
+def bench_justify_cone(repeats: int) -> dict[str, float]:
+    import random
+
+    from repro.atpg.justify import Justifier
+    from repro.atpg.requirements import RequirementSet
+    from repro.engine import Engine
+    from repro.experiments import get_scale
+
+    scale = get_scale("default")
+    engine = Engine()
+    session = engine.session("s641_proxy")
+    targets = session.target_sets(
+        max_faults=scale.max_faults, p0_min_faults=scale.p0_min_faults
+    )
+    sample = [
+        RequirementSet(record.sens.requirements) for record in targets.p0[:40]
+    ]
+
+    def justify_all(justifier):
+        rng = random.Random(scale.seed)
+        for requirements in sample:
+            justifier.justify(requirements, rng)
+
+    results = {}
+    for name, use_cones in (("justify_cone", True), ("justify_full", False)):
+        justifier = Justifier(session.netlist, use_cones=use_cones)
+        justify_all(justifier)  # warm the cone/support caches
+        results[name] = best_of(repeats, lambda: justify_all(justifier))
+    return results
+
+
 def run_benches(repeats: int) -> dict:
     results = {"tables_s27": bench_tables_s27(max(1, repeats // 3))}
     results.update(bench_detection_matrix(repeats))
+    results.update(bench_justify_cone(max(1, repeats // 2)))
     return {
         "meta": {
             "python": platform.python_version(),
@@ -135,12 +170,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default="BENCH_PR2.json",
-        help="where to write this run's numbers (default: BENCH_PR2.json)",
+        default="BENCH_PR4.json",
+        help="where to write this run's numbers (default: BENCH_PR4.json)",
     )
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "benchmarks" / "BENCH_PR2.json"),
+        default=str(REPO_ROOT / "benchmarks" / "BENCH_PR4.json"),
         help="committed baseline to compare against ('' disables comparison)",
     )
     parser.add_argument(
