@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..algebra.ternary import X, ZERO
 from ..algebra.triple import Triple
 from ..circuit.netlist import Netlist
+from ..robustness import NODE_LIMIT, Budget, BudgetExceeded
 from ..sim.batch import BatchSimulator, ConeSimulator
 from ..sim.vectors import TwoPatternTest
 from .justify import Justifier, JustifyStats, _SearchState
@@ -32,12 +33,21 @@ from .requirements import RequirementSet
 __all__ = ["BranchAndBoundJustifier", "SearchExhausted"]
 
 
-class SearchExhausted(RuntimeError):
-    """Raised when the node limit is hit before the search completes."""
+class SearchExhausted(BudgetExceeded):
+    """Raised when the node limit is hit before the search completes.
+
+    A :class:`~repro.robustness.BudgetExceeded` with reason
+    ``node_limit`` and phase ``bnb``; kept as a distinct class for
+    backwards compatibility with existing ``except SearchExhausted``
+    call sites.
+    """
+
+    def __init__(self, message: str = "", progress: dict | None = None) -> None:
+        super().__init__(NODE_LIMIT, "bnb", message, progress=progress)
 
 
 @dataclass
-class _Budget:
+class _NodeCounter:
     nodes: int
 
 
@@ -52,23 +62,37 @@ class BranchAndBoundJustifier:
         self,
         requirements: RequirementSet,
         node_limit: int = 20000,
+        budget: Budget | None = None,
     ) -> TwoPatternTest | None:
         """Find a test satisfying ``requirements`` or prove none exists.
 
         Returns ``None`` only when the full search space was exhausted.
-        Raises :class:`SearchExhausted` when ``node_limit`` decisions were
-        spent first.
+        Raises :class:`SearchExhausted` when the node limit was spent
+        first.  A non-null ``budget`` overrides ``node_limit`` with its
+        own ``node_limit`` cap (when set) and additionally checks the
+        wall-clock deadline at every search node, raising
+        :class:`~repro.robustness.BudgetExceeded` with reason
+        ``deadline`` on expiry.
         """
+        if budget is not None and budget.is_null:
+            budget = None
+        if budget is not None and budget.node_limit is not None:
+            node_limit = budget.node_limit
         state, cone = self._engine._make_state(requirements)
-        budget = _Budget(nodes=node_limit)
-        found = self._search(state, requirements, budget, cone)
+        counter = _NodeCounter(nodes=node_limit)
+        found = self._search(state, requirements, counter, cone, budget)
         if found is None:
             return None
         return self._complete(found)
 
-    def is_satisfiable(self, requirements: RequirementSet, node_limit: int = 20000) -> bool:
+    def is_satisfiable(
+        self,
+        requirements: RequirementSet,
+        node_limit: int = 20000,
+        budget: Budget | None = None,
+    ) -> bool:
         """True when some two-pattern test satisfies ``requirements``."""
-        return self.justify(requirements, node_limit=node_limit) is not None
+        return self.justify(requirements, node_limit=node_limit, budget=budget) is not None
 
     # ------------------------------------------------------------------
 
@@ -76,12 +100,15 @@ class BranchAndBoundJustifier:
         self,
         state: _SearchState,
         requirements: RequirementSet,
-        budget: _Budget,
+        counter: _NodeCounter,
         cone: ConeSimulator | None,
+        budget: Budget | None = None,
     ) -> _SearchState | None:
-        if budget.nodes <= 0:
+        if counter.nodes <= 0:
             raise SearchExhausted("branch-and-bound node limit exhausted")
-        budget.nodes -= 1
+        counter.nodes -= 1
+        if budget is not None:
+            budget.check_deadline("bnb", nodes_left=counter.nodes)
 
         status = self._engine._fixpoint(state, requirements, JustifyStats(), cone)
         if status == "conflict":
@@ -101,7 +128,7 @@ class BranchAndBoundJustifier:
         for value in (preferred, 1 - preferred):
             child = state.clone()
             child.assign(pi, position, value)
-            found = self._search(child, requirements, budget, cone)
+            found = self._search(child, requirements, counter, cone, budget)
             if found is not None:
                 return found
         return None

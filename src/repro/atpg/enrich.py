@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..circuit.netlist import Netlist
 from ..faults.universe import FaultRecord, TargetSets
+from ..robustness import AbortedFault, Budget
 from ..sim.batch import BatchSimulator
 from .generator import AtpgConfig, TestGenerator
 from .justify import Justifier
@@ -64,6 +65,16 @@ class EnrichmentReport:
         """Faults detected out of P1 alone."""
         return self.result.detected_by_pool[1] if len(self.result.detected_by_pool) > 1 else 0
 
+    @property
+    def aborted(self) -> int:
+        """Faults aborted by a resource budget (0 on unbudgeted runs)."""
+        return self.result.num_aborted
+
+    @property
+    def aborted_faults(self) -> list[AbortedFault]:
+        """The aborted faults with their per-fault reasons."""
+        return self.result.aborted_faults
+
     def summary(self) -> str:
         """One-line Table 6 row."""
         return (
@@ -80,6 +91,7 @@ def generate_enriched(
     config: AtpgConfig | None = None,
     simulator: BatchSimulator | None = None,
     justifier: "Justifier | None" = None,
+    budget: Budget | None = None,
 ) -> EnrichmentReport | GenerationResult:
     """Run test enrichment.
 
@@ -87,9 +99,11 @@ def generate_enriched(
     returning an :class:`EnrichmentReport`) or an explicit list of pools
     ``[P0, P1, ..., Pk]`` (the paper's noted generalization to more
     subsets, returning the raw :class:`GenerationResult`; primaries are
-    drawn from the first pool only).
+    drawn from the first pool only).  ``budget`` bounds the run (see
+    :class:`~repro.robustness.Budget`); a tripped budget degrades the run
+    and surfaces aborted faults on the report.
     """
-    generator = TestGenerator(netlist, config, simulator, justifier)
+    generator = TestGenerator(netlist, config, simulator, justifier, budget=budget)
     if isinstance(targets, TargetSets):
         result = generator.generate([targets.p0, targets.p1])
         return EnrichmentReport(result=result, targets=targets)

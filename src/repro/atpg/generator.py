@@ -58,6 +58,14 @@ from ..algebra.ternary import X
 from ..circuit.netlist import Netlist
 from ..envflags import scalar_cover_requested
 from ..faults.universe import FaultRecord
+from ..robustness import (
+    ABORT_LIMIT,
+    ATTEMPT_LIMIT,
+    DEADLINE,
+    AbortedFault,
+    Budget,
+    BudgetExceeded,
+)
 from ..sim.batch import BatchSimulator
 from ..sim.cover import CompiledRequirements, StackedRequirements
 from .heuristics import order_pool
@@ -164,9 +172,11 @@ class TestGenerator:
         simulator: BatchSimulator | None = None,
         justifier: Justifier | None = None,
         vectorized: bool | None = None,
+        budget: Budget | None = None,
     ) -> None:
         self.netlist = netlist
         self.config = config or AtpgConfig()
+        self.budget = budget
         self.simulator = simulator or BatchSimulator(netlist)
         self.justifier = justifier or Justifier(netlist, self.simulator)
         # Screening counters land in the same sink as the justifier's.
@@ -184,17 +194,30 @@ class TestGenerator:
         if self._stats is not None:
             self._stats.count(name, value)
 
-    def _justify(self, requirements: RequirementSet, rng) -> JustifyResult | None:
-        """Dispatch to the configured justification engine."""
+    def _justify(
+        self,
+        requirements: RequirementSet,
+        rng,
+        budget: Budget | None = None,
+    ) -> JustifyResult | None:
+        """Dispatch to the configured justification engine.
+
+        With a budget, a tripped cap propagates as
+        :class:`~repro.robustness.BudgetExceeded` so the caller can record
+        the fault as aborted; without one, an exhausted BnB search stays a
+        failed attempt (legacy ``bnb_node_limit`` semantics).
+        """
         if self._bnb is None:
-            return self.justifier.justify(requirements, rng)
+            return self.justifier.justify(requirements, rng, budget)
         from .bnb import SearchExhausted
 
         try:
             test = self._bnb.justify(
-                requirements, node_limit=self.config.bnb_node_limit
+                requirements, node_limit=self.config.bnb_node_limit, budget=budget
             )
         except SearchExhausted:
+            if budget is not None and budget.node_limit is not None:
+                raise  # the budget's cap, not the legacy safety valve
             return None
         if test is None:
             return None
@@ -203,9 +226,26 @@ class TestGenerator:
 
     # ------------------------------------------------------------------
 
-    def generate(self, pools: Sequence[Sequence[FaultRecord]]) -> GenerationResult:
-        """Run test generation over target pools (primaries from pool 0)."""
+    def generate(
+        self,
+        pools: Sequence[Sequence[FaultRecord]],
+        budget: Budget | None = None,
+    ) -> GenerationResult:
+        """Run test generation over target pools (primaries from pool 0).
+
+        A non-null ``budget`` (argument, or the generator's own) makes the
+        run degrade gracefully instead of running unbounded: a per-fault
+        trip (``node_limit``, ``attempt_limit``) records that primary as
+        aborted and moves on; a run-level trip (``deadline``,
+        ``abort_limit``) stops targeting new primaries, marks the
+        untried remainder of P0 aborted (deadline only) and returns the
+        tests generated so far.  The result's ``aborted_faults`` lists
+        every aborted fault with its machine-readable reason.
+        """
         config = self.config
+        budget = budget if budget is not None else self.budget
+        if budget is not None:
+            budget = None if budget.is_null else budget.start()
         rng = random.Random(config.seed)
         started = time.perf_counter()
         totals = JustifyStats()
@@ -220,6 +260,8 @@ class TestGenerator:
         ]
         tests: list[GeneratedTest] = []
         aborted = 0
+        aborted_faults: list[AbortedFault] = []
+        budget_exhausted: str | None = None
         attempts_total = 0
         successes_total = 0
 
@@ -229,7 +271,26 @@ class TestGenerator:
             totals.decisions += stats.decisions
             totals.necessary_assignments += stats.necessary_assignments
 
+        def record_abort(record: FaultRecord, reason: str, phase: str) -> None:
+            aborted_faults.append(
+                AbortedFault(
+                    fault=record.fault.format(self.netlist),
+                    pool=0,
+                    reason=reason,
+                    phase=phase,
+                )
+            )
+            self._count("budget.aborted")
+            self._count(f"budget.{reason}_trips")
+
         while True:
+            if budget is not None:
+                if budget.deadline_expired():
+                    budget_exhausted = DEADLINE
+                    break
+                if budget.abort_limit_reached(len(aborted_faults)):
+                    budget_exhausted = ABORT_LIMIT
+                    break
             primary_pool = states[0]
             primary_index = primary_pool.next_primary()
             if primary_index is None:
@@ -237,16 +298,32 @@ class TestGenerator:
             primary_pool.tried_primary[primary_index] = True
             primary = primary_pool.records[primary_index]
             requirements = RequirementSet(primary.sens.requirements)
+            attempts_allowed = config.retry_primaries
+            if budget is not None:
+                attempts_allowed = budget.attempts_allowed(attempts_allowed)
             result: JustifyResult | None = None
-            for _attempt in range(config.retry_primaries):
-                result = self._justify(requirements, rng)
-                if result is not None:
-                    merge_stats(result.stats)
-                    break
-                # A failed attempt leaves no state behind; retry re-rolls
-                # the random decisions.
+            try:
+                for _attempt in range(attempts_allowed):
+                    result = self._justify(requirements, rng, budget)
+                    if result is not None:
+                        merge_stats(result.stats)
+                        break
+                    # A failed attempt leaves no state behind; retry re-rolls
+                    # the random decisions.
+            except BudgetExceeded as exc:
+                # The budget tripped mid-justification: this primary gets
+                # no verdict.  Deadline expiry stops the run (checked at
+                # the loop top); per-fault caps just abort this fault.
+                aborted += 1
+                record_abort(primary, exc.reason, exc.phase)
+                continue
             if result is None:
                 aborted += 1
+                if attempts_allowed < config.retry_primaries:
+                    # The attempt_limit truncated the retries this fault
+                    # was entitled to, so its failure is a budget abort,
+                    # not an exhausted search.
+                    record_abort(primary, ATTEMPT_LIMIT, "justify")
                 continue
 
             targeted = [primary]
@@ -261,6 +338,7 @@ class TestGenerator:
                     skip=(0, primary_index),
                     rng=rng,
                     merge_stats=merge_stats,
+                    budget=budget,
                 )
                 attempts_total += attempts
                 successes_total += successes
@@ -286,6 +364,17 @@ class TestGenerator:
                 )
             )
 
+        if budget_exhausted == DEADLINE:
+            # Every alive P0 primary the run never got to try is aborted:
+            # the deadline denied it a verdict (untried but *detected*
+            # faults were already removed from the alive set).
+            primary_pool = states[0]
+            for i, record in enumerate(primary_pool.records):
+                if primary_pool.alive[i] and not primary_pool.tried_primary[i]:
+                    record_abort(record, DEADLINE, "generate")
+        if budget_exhausted is not None:
+            self._count("budget.run_stops")
+
         return GenerationResult(
             netlist=self.netlist,
             heuristic=config.heuristic,
@@ -297,6 +386,8 @@ class TestGenerator:
             justify_stats=totals,
             secondary_attempts=attempts_total,
             secondary_successes=successes_total,
+            aborted_faults=aborted_faults,
+            budget_exhausted=budget_exhausted,
         )
 
     # ------------------------------------------------------------------
@@ -321,11 +412,17 @@ class TestGenerator:
         skip: tuple[int, int],
         rng: random.Random,
         merge_stats,
+        budget: Budget | None = None,
     ) -> tuple[JustifyResult, RequirementSet, int, int]:
         """Fold secondary target faults into the test, pool by pool.
 
         Returns the final justification result, the final requirement
         union, and the (attempted, accepted) counters.
+
+        Budget trips during a *secondary* justification never lose the
+        test in hand: a per-fault cap makes the candidate a failed
+        attempt (it stays eligible elsewhere), while deadline expiry
+        stops compaction and salvages the current test as-is.
         """
         config = self.config
         attempts = 0
@@ -335,7 +432,12 @@ class TestGenerator:
             # on every P1 fault being considered after P0 is exhausted, so
             # a shared budget would silently skip the enrichment phase.
             pool_attempts = 0
-            budget = config.max_secondary_attempts
+            attempt_cap = config.max_secondary_attempts
+            if budget is not None:
+                if attempt_cap is None:
+                    attempt_cap = budget.attempt_limit
+                else:
+                    attempt_cap = budget.attempts_allowed(attempt_cap)
             candidates = [
                 i
                 for i in state.live_indices()
@@ -353,8 +455,10 @@ class TestGenerator:
             delta_vec: np.ndarray | None = None
             conflict_vec: np.ndarray | None = None
             while candidates:
-                if budget is not None and pool_attempts >= budget:
+                if attempt_cap is not None and pool_attempts >= attempt_cap:
                     break
+                if budget is not None and budget.deadline_expired():
+                    return result, requirements, attempts, successes
                 # Drop candidates the current test already covers: the
                 # closing fault simulation will detect them for free.
                 if stack is not None:
@@ -431,7 +535,13 @@ class TestGenerator:
                 assert trial is not None  # conflict-filtered above
                 attempts += 1
                 pool_attempts += 1
-                attempt = self._justify(trial, rng)
+                try:
+                    attempt = self._justify(trial, rng, budget)
+                except BudgetExceeded as exc:
+                    self._count(f"budget.{exc.reason}_trips")
+                    if exc.reason == DEADLINE:
+                        return result, requirements, attempts, successes
+                    continue
                 if attempt is None:
                     continue
                 merge_stats(attempt.stats)
@@ -474,7 +584,8 @@ def generate_basic(
     config: AtpgConfig | None = None,
     simulator: BatchSimulator | None = None,
     justifier: Justifier | None = None,
+    budget: Budget | None = None,
 ) -> GenerationResult:
     """Basic test generation for a single target set (Section 2)."""
-    generator = TestGenerator(netlist, config, simulator, justifier)
+    generator = TestGenerator(netlist, config, simulator, justifier, budget=budget)
     return generator.generate([records])

@@ -52,6 +52,7 @@ from ..algebra.triple import Triple
 from ..circuit.analysis import support_inputs
 from ..circuit.netlist import Netlist
 from ..envflags import full_sim_requested
+from ..robustness import Budget, InternalInvariantError
 from ..sim.batch import LRU_CACHE_SIZE, BatchSimulator, ConeSimulator
 from ..sim.vectors import TwoPatternTest
 from .requirements import RequirementSet
@@ -220,11 +221,19 @@ class Justifier:
         requirements: RequirementSet,
         stats: JustifyStats,
         cone: ConeSimulator | None,
+        budget: Budget | None = None,
+        phase: str = "justify",
     ) -> str:
         """Assign all necessary values.
 
         Returns ``"conflict"``, ``"covered"`` (requirements already
         satisfied) or ``"stuck"`` (a decision is needed).
+
+        When ``budget`` is set, each fixpoint round checks the wall-clock
+        deadline and counts against the justification ``node_limit``
+        (rounds are this engine's unit of work; each one simulates a full
+        candidate batch), raising
+        :class:`~repro.robustness.BudgetExceeded` at the round boundary.
         """
         compiled = requirements.compiled()
         if cone is not None:
@@ -237,6 +246,9 @@ class Justifier:
                 [self._pi_row[pi] for pi in state.support], dtype=np.int64
             )
         while True:
+            if budget is not None:
+                budget.check_deadline(phase, rounds=stats.rounds)
+                budget.check_nodes(stats.rounds + 1, phase)
             stats.rounds += 1
             # Unresolved (row, endpoint) pairs in scan order (row asc,
             # endpoint 1 before 3); column 1+2i tries ZERO at pair i,
@@ -296,27 +308,34 @@ class Justifier:
         self,
         requirements: RequirementSet,
         rng: random.Random,
+        budget: Budget | None = None,
     ) -> JustifyResult | None:
         """Search for a fully specified test satisfying ``requirements``.
 
         Returns ``None`` when the (incomplete, randomized) search fails.
+        A non-null ``budget`` is checked at every fixpoint round and
+        raises :class:`~repro.robustness.BudgetExceeded` on a trip; the
+        caller decides whether that aborts the fault or the run.
         """
         if self._stats is not None:
             self._stats.count("justify.calls")
             with self._stats.timer("justify"):
-                return self._justify(requirements, rng)
-        return self._justify(requirements, rng)
+                return self._justify(requirements, rng, budget)
+        return self._justify(requirements, rng, budget)
 
     def _justify(
         self,
         requirements: RequirementSet,
         rng: random.Random,
+        budget: Budget | None = None,
     ) -> JustifyResult | None:
+        if budget is not None and budget.is_null:
+            budget = None
         stats = JustifyStats()
         state, cone = self._make_state(requirements)
         covered = False
         while True:
-            status = self._fixpoint(state, requirements, stats, cone)
+            status = self._fixpoint(state, requirements, stats, cone, budget)
             if status == "conflict":
                 return None
             if status == "covered":
@@ -356,7 +375,9 @@ class Justifier:
         self._count_sim(1, self.simulator.n_nodes)
         if not requirements.compiled().covered_by(sim)[0]:
             if covered:  # pragma: no cover - would indicate a simulator bug
-                raise AssertionError("monotonicity violated: covered test regressed")
+                raise InternalInvariantError(
+                    "monotonicity violated: covered test regressed"
+                )
             return None
         return JustifyResult(test=test, sim_codes=sim[:, :, 0], stats=stats)
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from ..circuit.netlist import Netlist
 from ..faults.universe import FaultRecord
+from ..robustness import AbortedFault
 from ..sim.vectors import TwoPatternTest
 from .justify import JustifyStats
 
@@ -43,6 +44,12 @@ class GenerationResult:
     ``pools`` holds the target-fault pools the run started from
     (``[P]`` for the basic procedure, ``[P0, P1]`` for enrichment);
     ``detected_by_pool`` the per-pool detected counts.
+
+    ``aborted_faults`` lists the faults a resource budget denied a
+    verdict (empty on unbudgeted runs; ``aborted_primaries`` is the
+    legacy count of primaries whose justification failed, budgeted or
+    not).  ``budget_exhausted`` records the run-level stop reason
+    (``deadline`` / ``abort_limit``) when the budget ended the run early.
     """
 
     netlist: Netlist
@@ -55,6 +62,13 @@ class GenerationResult:
     justify_stats: JustifyStats
     secondary_attempts: int = 0
     secondary_successes: int = 0
+    aborted_faults: list[AbortedFault] = field(default_factory=list)
+    budget_exhausted: str | None = None
+
+    @property
+    def num_aborted(self) -> int:
+        """Number of faults a budget trip left without a verdict."""
+        return len(self.aborted_faults)
 
     @property
     def num_tests(self) -> int:

@@ -98,6 +98,14 @@ def parse_bench(text: str, name: str = "bench") -> tuple[Netlist, SequentialInfo
             if kind == "INPUT":
                 inputs.append(signal)
             else:
+                # Two explicit OUTPUT lines are a malformed netlist; a net
+                # that is both a declared output and a DFF data net is the
+                # normal sequential case and stays tolerated (deduplicated
+                # against pseudo outputs below).
+                if signal in outputs:
+                    raise BenchParseError(
+                        f"duplicate OUTPUT declaration {signal!r}", line_no
+                    )
                 outputs.append(signal)
             continue
         assign = _ASSIGN_RE.match(line)

@@ -30,6 +30,7 @@ from .experiments import (
     run_all,
 )
 from .parallel import ParallelRunError, resolve_jobs
+from .robustness import BUDGET_PROFILES, Budget, budget_from_profile
 
 __all__ = ["main"]
 
@@ -64,6 +65,58 @@ def _positive_float_arg(value: str) -> float:
     if number <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return number
+
+
+def _positive_int_arg(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}"
+        ) from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {number}")
+    return number
+
+
+def _build_budget(args) -> Budget | None:
+    """Combine ``--budget-profile``/``--deadline``/``--abort-limit``.
+
+    The profile (when given) supplies the base caps; explicit flags
+    override its fields.  Returns ``None`` when no budget flag was used,
+    keeping the unbudgeted path byte-identical to historical behaviour.
+    """
+    profile = getattr(args, "budget_profile", None)
+    overrides = {
+        "deadline_seconds": getattr(args, "deadline", None),
+        "abort_limit": getattr(args, "abort_limit", None),
+        "node_limit": getattr(args, "node_limit", None),
+        "attempt_limit": getattr(args, "attempt_limit", None),
+    }
+    if profile is None and all(value is None for value in overrides.values()):
+        return None
+    budget = budget_from_profile(profile) if profile else Budget()
+    for name, value in overrides.items():
+        if value is not None:
+            setattr(budget, name, value)
+    return budget
+
+
+def _print_aborted(aborted_faults, limit: int = 20) -> None:
+    """stderr report of budget-aborted faults (graceful-degradation)."""
+    if not aborted_faults:
+        return
+    print(
+        f"budget: {len(aborted_faults)} fault(s) aborted before a verdict",
+        file=sys.stderr,
+    )
+    for entry in aborted_faults[:limit]:
+        print(
+            f"  P{entry.pool} {entry.fault}: {entry.reason} in {entry.phase}",
+            file=sys.stderr,
+        )
+    if len(aborted_faults) > limit:
+        print(f"  ... and {len(aborted_faults) - limit} more", file=sys.stderr)
 
 
 def _session(name_or_path: str, engine: Engine) -> CircuitSession:
@@ -107,6 +160,7 @@ def _cmd_enumerate(args, engine: Engine) -> int:
 
 
 def _cmd_atpg(args, engine: Engine) -> int:
+    engine.budget = _build_budget(args)
     session = _session(args.circuit, engine)
     result = basic_atpg_circuit(
         session.netlist,
@@ -119,6 +173,7 @@ def _cmd_atpg(args, engine: Engine) -> int:
         session=session,
     )
     print(result.summary())
+    _print_aborted(result.aborted_faults)
     if args.show_tests:
         for generated in result.tests:
             first, second = generated.test.patterns(session.netlist)
@@ -127,6 +182,7 @@ def _cmd_atpg(args, engine: Engine) -> int:
 
 
 def _cmd_enrich(args, engine: Engine) -> int:
+    engine.budget = _build_budget(args)
     session = _session(args.circuit, engine)
     report = enrich_circuit(
         session.netlist,
@@ -138,6 +194,7 @@ def _cmd_enrich(args, engine: Engine) -> int:
         session=session,
     )
     print(report.summary())
+    _print_aborted(report.aborted_faults)
     return 0
 
 
@@ -171,6 +228,7 @@ def _cmd_tables(args, engine: Engine) -> int:
                 resume=args.resume,
                 max_retries=args.max_retries,
                 timeout=args.timeout,
+                budget=_build_budget(args),
             )
         except ParallelRunError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -229,6 +287,47 @@ def build_parser() -> argparse.ArgumentParser:
             help="sensitization conditions (non_robust is an extension)",
         )
 
+    def add_budget_args(p):
+        p.add_argument(
+            "--deadline",
+            type=_positive_float_arg,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget for the whole run; faults left without "
+            "a verdict when it expires are reported as aborted and the "
+            "run still exits 0",
+        )
+        p.add_argument(
+            "--abort-limit",
+            type=_positive_int_arg,
+            default=None,
+            metavar="N",
+            help="stop generation once N faults were aborted by the budget "
+            "(graceful stop, partial results are kept)",
+        )
+        p.add_argument(
+            "--budget-profile",
+            choices=sorted(BUDGET_PROFILES),
+            default=None,
+            help="named resource-budget preset (node/attempt/enumeration "
+            "caps); the other budget flags override its fields",
+        )
+        p.add_argument(
+            "--node-limit",
+            type=_positive_int_arg,
+            default=None,
+            metavar="N",
+            help="per-fault justification work cap (fixpoint rounds / "
+            "branch-and-bound nodes); tripped faults are aborted",
+        )
+        p.add_argument(
+            "--attempt-limit",
+            type=_positive_int_arg,
+            default=None,
+            metavar="N",
+            help="justification attempts per target fault",
+        )
+
     p_enum = sub.add_parser("enumerate", help="longest-path enumeration")
     p_enum.add_argument("circuit")
     p_enum.add_argument("--max-faults", type=int, default=600)
@@ -245,12 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="values",
     )
     add_scale_args(p_atpg)
+    add_budget_args(p_atpg)
     p_atpg.add_argument("--show-tests", action="store_true")
     p_atpg.set_defaults(func=_cmd_atpg)
 
     p_enrich = sub.add_parser("enrich", help="test enrichment (P0 + P1)")
     p_enrich.add_argument("circuit")
     add_scale_args(p_enrich)
+    add_budget_args(p_enrich)
     p_enrich.set_defaults(func=_cmd_enrich)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -302,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-circuit wall-clock budget on the pool path "
         "(default: unlimited)",
     )
+    add_budget_args(p_tables)
     p_tables.set_defaults(func=_cmd_tables)
     return parser
 

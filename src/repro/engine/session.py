@@ -25,6 +25,7 @@ from ..circuit.netlist import Netlist
 from ..circuit.transform import pdf_ready
 from ..faults.conditions import Mode
 from ..faults.universe import FaultRecord, TargetSets, build_target_sets
+from ..robustness import Budget
 from ..sim.batch import BatchSimulator
 from ..sim.faultsim import FaultSimulator
 from .stats import EngineStats
@@ -52,8 +53,15 @@ class CircuitSession:
         circuit: str | Netlist,
         stats: EngineStats | None = None,
         simulator: BatchSimulator | None = None,
+        budget: Budget | None = None,
     ) -> None:
+        """``budget`` is the session-wide resource budget, applied to every
+        accessor unless a call passes its own.  Memoized artifacts are
+        cached per parameter key regardless of budget: a session lives
+        inside one run and shares that run's budget, so a degraded
+        artifact is exactly the one every later stage should reuse."""
         self.stats = stats if stats is not None else EngineStats()
+        self.budget = budget if budget is None or not budget.is_null else None
         netlist = load_circuit(circuit) if isinstance(circuit, str) else circuit
         self.netlist = pdf_ready(netlist)
         self._simulator = simulator
@@ -85,8 +93,17 @@ class CircuitSession:
             )
         return self._justifier
 
+    def _budget(self, budget: Budget | None) -> Budget | None:
+        """The effective budget for one call (argument wins, null is None)."""
+        if budget is None:
+            return self.budget
+        return None if budget.is_null else budget
+
     def enumeration(
-        self, max_faults: int, use_distances: bool = True
+        self,
+        max_faults: int,
+        use_distances: bool = True,
+        budget: Budget | None = None,
     ) -> "EnumerationResult":
         """Bounded longest-path enumeration, cached per ``(cap, variant)``."""
         from ..paths.enumerate import enumerate_paths
@@ -99,7 +116,10 @@ class CircuitSession:
         self.stats.miss("enumerate")
         with self.stats.timer("enumerate"):
             result = enumerate_paths(
-                self.netlist, max_faults=max_faults, use_distances=use_distances
+                self.netlist,
+                max_faults=max_faults,
+                use_distances=use_distances,
+                budget=self._budget(budget),
             )
         self._enumerations[key] = result
         return result
@@ -110,6 +130,7 @@ class CircuitSession:
         p0_min_faults: int = 1000,
         mode: Mode = "robust",
         filter_implications: bool = True,
+        budget: Budget | None = None,
     ) -> TargetSets:
         """``P0`` / ``P1`` construction, cached per full parameter key."""
         key = (max_faults, p0_min_faults, mode, filter_implications)
@@ -118,7 +139,8 @@ class CircuitSession:
             self.stats.hit("target_sets")
             return cached
         self.stats.miss("target_sets")
-        enumeration = self.enumeration(max_faults)
+        budget = self._budget(budget)
+        enumeration = self.enumeration(max_faults, budget=budget)
         with self.stats.timer("target_sets"):
             targets = build_target_sets(
                 self.netlist,
@@ -127,6 +149,7 @@ class CircuitSession:
                 mode=mode,
                 enumeration=enumeration,
                 justifier=self.justifier if filter_implications else None,
+                budget=budget,
             )
         self._target_sets[key] = targets
         return targets
@@ -155,7 +178,10 @@ class CircuitSession:
     # -- generation front ends -----------------------------------------
 
     def generate_basic(
-        self, records: Sequence[FaultRecord], config: AtpgConfig | None = None
+        self,
+        records: Sequence[FaultRecord],
+        config: AtpgConfig | None = None,
+        budget: Budget | None = None,
     ) -> "GenerationResult":
         """Basic test generation reusing the session's simulator/justifier."""
         with self.stats.timer("generate"):
@@ -165,12 +191,14 @@ class CircuitSession:
                 config,
                 simulator=self.simulator,
                 justifier=self.justifier,
+                budget=self._budget(budget),
             )
 
     def generate_enriched(
         self,
         targets: TargetSets | list[list[FaultRecord]],
         config: AtpgConfig | None = None,
+        budget: Budget | None = None,
     ) -> "EnrichmentReport | GenerationResult":
         """Test enrichment reusing the session's simulator/justifier."""
         with self.stats.timer("generate"):
@@ -180,6 +208,7 @@ class CircuitSession:
                 config,
                 simulator=self.simulator,
                 justifier=self.justifier,
+                budget=self._budget(budget),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -198,8 +227,15 @@ class Engine:
     stage of a multi-circuit run reuses the per-circuit artifacts.
     """
 
-    def __init__(self, stats: EngineStats | None = None) -> None:
+    def __init__(
+        self, stats: EngineStats | None = None, budget: Budget | None = None
+    ) -> None:
+        """``budget`` is handed to every session this engine creates (it
+        may be (re)assigned before the first ``session()`` call, which is
+        how the CLI applies ``--deadline``/``--budget-profile`` to an
+        engine built earlier)."""
         self.stats = stats if stats is not None else EngineStats()
+        self.budget = budget
         self._by_name: dict[str, CircuitSession] = {}
         self._by_identity: dict[int, CircuitSession] = {}
 
@@ -208,14 +244,16 @@ class Engine:
         if isinstance(circuit, str):
             session = self._by_name.get(circuit)
             if session is None:
-                session = CircuitSession(circuit, stats=self.stats)
+                session = CircuitSession(
+                    circuit, stats=self.stats, budget=self.budget
+                )
                 self._by_name[circuit] = session
             return session
         # Netlist objects are pooled by identity; the session keeps the
         # netlist alive, so ids cannot be recycled while pooled.
         session = self._by_identity.get(id(circuit))
         if session is None:
-            session = CircuitSession(circuit, stats=self.stats)
+            session = CircuitSession(circuit, stats=self.stats, budget=self.budget)
             self._by_identity[id(circuit)] = session
         return session
 

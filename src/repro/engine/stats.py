@@ -26,7 +26,13 @@ Counter naming convention:
 * ``simulator.build`` / ``justifier.build`` -- artifact constructions;
 * ``parallel.*`` -- runner fault-tolerance bookkeeping (``jobs``,
   ``retries``, ``timeouts``, ``failures``, ``pool_broken``, ``fallback``,
-  ``resumed``, ``checkpointed``).
+  ``resumed``, ``checkpointed``);
+* ``budget.*`` -- graceful-degradation bookkeeping: ``budget.aborted``
+  (faults recorded as aborted), ``budget.<reason>_trips`` per abort
+  reason (``deadline``, ``node_limit``, ``attempt_limit``, ...) and
+  ``budget.run_stops`` (run-level stops: deadline expiry / abort limit);
+* ``checkpoint.corrupt`` -- checkpoint files that existed but could not
+  be decoded (distinguished from simply missing ones, which stay silent).
 
 Timers accumulate wall-clock seconds under the same names (``enumerate``,
 ``target_sets``, ``justify``, ``generate``).

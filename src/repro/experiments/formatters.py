@@ -21,6 +21,7 @@ __all__ = [
     "format_table5",
     "format_table6",
     "format_table7",
+    "format_aborted_faults",
 ]
 
 
@@ -102,29 +103,61 @@ def format_table5(results: Mapping[str, CircuitBasicResult]) -> str:
 
 
 def format_table6(rows: Sequence[Table6Row]) -> str:
+    # The aborted column appears only when some run actually degraded:
+    # unbudgeted output stays byte-identical to the pre-budget layout.
+    show_aborted = any(getattr(row, "aborted", 0) for row in rows)
+    headers = [
+        "circuit",
+        "i0",
+        "P0 total",
+        "P0 detect",
+        "P0,P1 total",
+        "P0,P1 detect",
+        "tests",
+    ]
+    if show_aborted:
+        headers.append("aborted")
+    body = []
+    for row in rows:
+        cells = (
+            row.circuit,
+            row.i0,
+            row.p0_total,
+            row.p0_detected,
+            row.p01_total,
+            row.p01_detected,
+            row.tests,
+        )
+        body.append(cells + (row.aborted,) if show_aborted else cells)
     return render_table(
-        [
-            "circuit",
-            "i0",
-            "P0 total",
-            "P0 detect",
-            "P0,P1 total",
-            "P0,P1 detect",
-            "tests",
-        ],
-        [
-            (
-                row.circuit,
-                row.i0,
-                row.p0_total,
-                row.p0_detected,
-                row.p01_total,
-                row.p01_detected,
-                row.tests,
-            )
-            for row in rows
-        ],
+        headers,
+        body,
         title="Table 6: results of test enrichment using P0 and P1",
+    )
+
+
+def format_aborted_faults(rows: Sequence[Table6Row], limit: int = 20) -> str:
+    """Per-fault abort report for degraded enrichment runs.
+
+    One line per aborted fault -- circuit, fault identity, machine-
+    readable reason and the pipeline phase that tripped -- capped at
+    ``limit`` rows per circuit (the remainder is summarized); returns
+    ``""`` when nothing was aborted, so unbudgeted output is unchanged.
+    """
+    body: list[tuple] = []
+    for row in rows:
+        faults = getattr(row, "aborted_faults", [])
+        for fault, pool, reason, phase in faults[:limit]:
+            body.append((row.circuit, fault, f"P{pool}", reason, phase))
+        overflow = len(faults) - limit
+        if overflow > 0:
+            body.append((row.circuit, f"... and {overflow} more", "", "", ""))
+    if not body:
+        return ""
+    return render_table(
+        ["circuit", "fault", "pool", "reason", "phase"],
+        body,
+        title="Aborted faults (budget exhausted before a verdict)",
     )
 
 

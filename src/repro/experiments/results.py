@@ -24,6 +24,17 @@ __all__ = [
 ]
 
 
+def _strip_empty_budget_keys(payload: dict) -> None:
+    """Drop falsy budget-taxonomy keys from a serialized row in place.
+
+    Keeps unbudgeted output byte-identical to the pre-budget format; the
+    ``from_dict`` constructors restore the dataclass defaults.
+    """
+    for key in ("aborted", "aborted_faults"):
+        if key in payload and not payload[key]:
+            del payload[key]
+
+
 @dataclass
 class Table1Result:
     """Outcome of the paper's s27 walk-through (N_P = 20 paths)."""
@@ -61,12 +72,19 @@ class Table2Result:
 
 @dataclass
 class HeuristicOutcome:
-    """One basic-generation run (one circuit, one heuristic)."""
+    """One basic-generation run (one circuit, one heuristic).
+
+    ``aborted`` counts the target faults a resource budget denied a
+    verdict (the third leg of the detected / untestable / aborted
+    taxonomy); it is 0 -- and omitted from serialized output -- on
+    unbudgeted runs.
+    """
 
     detected_p0: int
     tests: int
     detected_p01: int
     runtime_seconds: float
+    aborted: int = 0
 
     @classmethod
     def from_dict(cls, payload: dict) -> "HeuristicOutcome":
@@ -99,7 +117,14 @@ class CircuitBasicResult:
 
 @dataclass
 class Table6Row:
-    """One circuit's enrichment outcome."""
+    """One circuit's enrichment outcome.
+
+    ``aborted`` / ``aborted_faults`` carry the budget-degradation
+    breakdown: each entry of ``aborted_faults`` is a JSON-ready
+    ``[fault, pool, reason, phase]`` row
+    (:meth:`repro.robustness.AbortedFault.as_row`).  Both stay empty --
+    and are omitted from serialized output -- on unbudgeted runs.
+    """
 
     circuit: str
     i0: int
@@ -109,6 +134,8 @@ class Table6Row:
     p01_detected: int
     tests: int
     runtime_seconds: float
+    aborted: int = 0
+    aborted_faults: list = field(default_factory=list)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Table6Row":
@@ -126,8 +153,14 @@ class ExperimentResults:
     table6: list[Table6Row]
 
     def format_all(self) -> str:
-        """Render every table, separated by blank lines."""
+        """Render every table, separated by blank lines.
+
+        Degraded (budgeted) runs append the aborted-fault report; it
+        renders from the serialized rows alone, so ``--from-json``
+        output is identical to the fresh run that produced the file.
+        """
         from .formatters import (
+            format_aborted_faults,
             format_table1,
             format_table2,
             format_table3,
@@ -137,20 +170,28 @@ class ExperimentResults:
             format_table7,
         )
 
-        return "\n\n".join(
-            [
-                format_table1(self.table1),
-                format_table2(self.table2),
-                format_table3(self.basic),
-                format_table4(self.basic),
-                format_table5(self.basic),
-                format_table6(self.table6),
-                format_table7(self.basic, self.table6),
-            ]
-        )
+        sections = [
+            format_table1(self.table1),
+            format_table2(self.table2),
+            format_table3(self.basic),
+            format_table4(self.basic),
+            format_table5(self.basic),
+            format_table6(self.table6),
+            format_table7(self.basic, self.table6),
+        ]
+        aborted = format_aborted_faults(self.table6)
+        if aborted:
+            sections.append(aborted)
+        return "\n\n".join(sections)
 
     def to_json(self) -> str:
-        """Serialize for caching (see ``from_json``)."""
+        """Serialize for caching (see ``from_json``).
+
+        Budget-taxonomy keys (``aborted``, ``aborted_faults``) are
+        emitted only when non-empty: an unbudgeted run's JSON is
+        byte-identical to the output before budgets existed, so cached
+        results, golden files and downstream diffs stay stable.
+        """
         payload = {
             "scale": self.scale,
             "table1": asdict(self.table1),
@@ -158,6 +199,11 @@ class ExperimentResults:
             "basic": {k: asdict(v) for k, v in self.basic.items()},
             "table6": [asdict(row) for row in self.table6],
         }
+        for entry in payload["basic"].values():
+            for outcome in entry["outcomes"].values():
+                _strip_empty_budget_keys(outcome)
+        for row in payload["table6"]:
+            _strip_empty_budget_keys(row)
         return json.dumps(payload, indent=1)
 
     def canonical_json(self) -> str:

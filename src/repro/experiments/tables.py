@@ -31,6 +31,7 @@ from ..engine import CircuitSession, Engine
 from ..faults.fault import faults_of_paths
 from ..parallel import CircuitJob, ParallelRunner, RunCheckpoint, resolve_jobs
 from ..paths.lengths import length_table_for_faults
+from ..robustness import Budget
 from .formatters import (
     format_table1,
     format_table2,
@@ -128,6 +129,17 @@ def run_table2(
 # ----------------------------------------------------------------------
 
 
+def _resolve_budget(engine: Engine, budget: Budget | None) -> Budget | None:
+    """An explicit ``budget`` argument wins over ``engine.budget``.
+
+    Null budgets normalize to ``None`` so the unbudgeted fast path stays
+    byte-identical to the pre-budget behaviour.
+    """
+    if budget is not None:
+        return None if budget.is_null else budget
+    return engine.budget
+
+
 def run_basic_circuit(
     session: CircuitSession,
     scale: str | ExperimentScale = "default",
@@ -168,6 +180,7 @@ def run_basic_circuit(
             tests=run.num_tests,
             detected_p01=detected_p01,
             runtime_seconds=run.runtime_seconds,
+            aborted=run.num_aborted,
         )
     return entry
 
@@ -180,16 +193,21 @@ def run_basic_experiments(
     jobs: int | None = 1,
     max_retries: int = 1,
     timeout: float | None = None,
+    budget: Budget | None = None,
 ) -> dict[str, CircuitBasicResult]:
     """Run the basic procedure for every circuit x heuristic (Tables 3-5).
 
     ``jobs`` fans circuits out over :class:`repro.parallel.ParallelRunner`
     (``None`` = all CPUs); results are keyed in ``circuits`` order either
     way and identical to the serial path up to wall-clock fields.
-    ``max_retries``/``timeout`` configure the runner's fault tolerance.
+    ``max_retries``/``timeout`` configure the runner's fault tolerance;
+    ``budget`` caps per-fault resources (see :mod:`repro.robustness`) --
+    faults it denies a verdict come back ``aborted`` instead of failing
+    the sweep.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
+    engine.budget = _resolve_budget(engine, budget)
     if resolve_jobs(jobs) > 1 and len(circuits) > 1:
         runner = ParallelRunner(
             jobs, engine=engine, max_retries=max_retries, timeout=timeout
@@ -237,6 +255,8 @@ def run_table6_circuit(
         p01_detected=report.p01_detected,
         tests=report.num_tests,
         runtime_seconds=report.result.runtime_seconds,
+        aborted=report.aborted,
+        aborted_faults=[f.as_row() for f in report.aborted_faults],
     )
 
 
@@ -247,15 +267,19 @@ def run_table6(
     jobs: int | None = 1,
     max_retries: int = 1,
     timeout: float | None = None,
+    budget: Budget | None = None,
 ) -> list[Table6Row]:
     """The proposed enrichment procedure on each circuit (Table 6).
 
     ``jobs`` fans circuits out over :class:`repro.parallel.ParallelRunner`
     (``None`` = all CPUs); rows come back in ``circuits`` order either way.
-    ``max_retries``/``timeout`` configure the runner's fault tolerance.
+    ``max_retries``/``timeout`` configure the runner's fault tolerance;
+    ``budget`` enables graceful degradation (aborted faults are reported
+    in each row instead of failing the sweep).
     """
     scale = get_scale(scale)
     engine = engine or Engine()
+    engine.budget = _resolve_budget(engine, budget)
     if resolve_jobs(jobs) > 1 and len(circuits) > 1:
         runner = ParallelRunner(
             jobs, engine=engine, max_retries=max_retries, timeout=timeout
@@ -282,6 +306,7 @@ def run_all(
     resume: bool = False,
     max_retries: int = 1,
     timeout: float | None = None,
+    budget: Budget | None = None,
 ) -> ExperimentResults:
     """Regenerate the data behind every table of the paper.
 
@@ -306,15 +331,27 @@ def run_all(
     knobs; a circuit that still fails after its retries raises
     :class:`repro.parallel.ParallelRunError` with every completed
     circuit's result salvaged (and checkpointed, when enabled).
+
+    ``budget`` (or a pre-assigned ``engine.budget``) enables graceful
+    degradation: per-fault resource trips surface as aborted faults in
+    the results rather than failures, and the run still exits normally.
+    The budget joins the checkpoint parameter envelope, so resumed runs
+    never reuse results computed under a different budget.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
+    engine.budget = _resolve_budget(engine, budget)
     n_jobs = resolve_jobs(jobs)
     basic_names = list(circuits)
     table6_names = list(table6_circuits)
     checkpoint = None
     if checkpoint_dir is not None:
-        checkpoint = RunCheckpoint(checkpoint_dir)
+        checkpoint = RunCheckpoint(
+            checkpoint_dir,
+            budget=engine.budget,
+            timeout=timeout,
+            stats=engine.stats,
+        )
         if not resume:
             checkpoint.clear()
     elif resume:

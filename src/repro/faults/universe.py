@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..circuit.netlist import Netlist
+from ..robustness import DEADLINE, Budget
 from .conditions import Mode, Sensitization, sensitize
 from .fault import PathDelayFault, faults_of_paths
 
@@ -68,6 +69,10 @@ class TargetSets:
     dropped_implication: int = 0
     #: Raw enumeration diagnostics.
     enumeration: EnumerationResult | None = None
+    #: Budget reason (e.g. ``deadline``) that cut target-set construction
+    #: short, or ``None`` for a complete build.  When set, faults past the
+    #: cut-off were never sensitized and are absent from ``P0``/``P1``.
+    budget_exhausted: str | None = None
 
     @property
     def all_records(self) -> list[FaultRecord]:
@@ -98,6 +103,7 @@ def build_target_sets(
     implication_filter: Callable[[FaultRecord], bool] | None = None,
     enumeration: "EnumerationResult | None" = None,
     justifier=None,
+    budget: Budget | None = None,
 ) -> "TargetSets":
     """Construct ``P0`` and ``P1`` for a circuit.
 
@@ -113,9 +119,19 @@ def build_target_sets(
     given.  A precomputed ``enumeration`` (e.g. from a
     :class:`repro.engine.CircuitSession` cache) skips the path enumeration;
     it must have been produced with the same ``max_faults`` cap.
+
+    A non-null ``budget`` bounds the build: its caps flow into the path
+    enumeration, and its deadline is checked between faults during
+    sensitization -- on expiry the sets are built from the faults
+    processed so far and ``budget_exhausted`` records the cut.
     """
     from ..paths.enumerate import enumerate_paths
     from ..paths.lengths import length_table_for_faults
+
+    if budget is not None and budget.is_null:
+        budget = None
+    if budget is not None:
+        budget.start()
 
     if implication_filter is None and justifier is not None:
         # Lazy import: faults must not depend on atpg at module level.
@@ -128,13 +144,17 @@ def build_target_sets(
 
     if enumeration is None:
         enumeration = enumerate_paths(
-            netlist, max_faults=max_faults, use_distances=use_distances
+            netlist, max_faults=max_faults, use_distances=use_distances, budget=budget
         )
 
     records: list[FaultRecord] = []
     dropped_conflict = 0
     dropped_implication = 0
+    budget_exhausted = enumeration.budget_exhausted
     for fault in faults_of_paths(enumeration.paths):
+        if budget is not None and budget.deadline_expired():
+            budget_exhausted = DEADLINE
+            break
         sens = sensitize(netlist, fault, mode=mode)
         if sens is None:
             dropped_conflict += 1
@@ -159,6 +179,7 @@ def build_target_sets(
         dropped_conflict=dropped_conflict,
         dropped_implication=dropped_implication,
         enumeration=enumeration,
+        budget_exhausted=budget_exhausted,
     )
 
 

@@ -29,19 +29,30 @@ Checkpoint file format (version 1)::
       "run_basic": true,
       "run_table6": true,
       "heuristics": ["uncomp", "arbit", "length", "values"],
+      "budget": {"deadline_seconds": ..., "node_limit": ..., ...},  # budgeted runs only
+      "timeout": 20.0,                                              # --timeout runs only
       "basic": {... CircuitBasicResult ...} | null,
       "table6": {... Table6Row ...} | null,
       "stats": {"counters": {...}, "timers": {...}} | null
     }
+
+The ``budget``/``timeout`` keys are part of the parameter envelope: a
+result produced under one budget (possibly degraded, with aborted
+faults) must not be reused by a run with a different budget.  Unbudgeted
+runs omit both keys, so their checkpoints stay compatible with files
+written before budgets existed.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+from ..robustness import Budget
 
 if TYPE_CHECKING:
     from .runner import CircuitJob, CircuitJobResult
@@ -50,13 +61,40 @@ __all__ = ["RunCheckpoint", "CHECKPOINT_VERSION"]
 
 CHECKPOINT_VERSION = 1
 
+logger = logging.getLogger(__name__)
+
+
+def _budget_envelope(budget: "Budget | None", timeout: float | None) -> dict:
+    """The budget/timeout keys of the parameter envelope (empty = none)."""
+    envelope: dict = {}
+    if budget is not None and not budget.is_null:
+        envelope["budget"] = budget.spec()
+    if timeout is not None:
+        envelope["timeout"] = timeout
+    return envelope
+
 
 class RunCheckpoint:
-    """One-file-per-circuit store of completed job results."""
+    """One-file-per-circuit store of completed job results.
 
-    def __init__(self, directory: str | Path) -> None:
+    ``budget`` and ``timeout`` describe the run configuration and join
+    the stored parameter envelope; ``stats`` is an optional
+    EngineStats-compatible sink for the ``checkpoint.corrupt`` counter
+    (the parallel runner wires its engine's stats in).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        budget: "Budget | None" = None,
+        timeout: float | None = None,
+        stats=None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.budget = budget
+        self.timeout = timeout
+        self.stats = stats
 
     def path_for(self, circuit: str) -> Path:
         return self.directory / f"{circuit}.json"
@@ -82,6 +120,7 @@ class RunCheckpoint:
             "heuristics": (
                 list(effective_heuristics(job)) if job.run_basic else []
             ),
+            **_budget_envelope(self.budget, self.timeout),
             **result.to_payload(),
         }
         path = self.path_for(result.circuit)
@@ -90,26 +129,56 @@ class RunCheckpoint:
         os.replace(tmp, path)
         return path
 
+    def _corrupt(self, path: Path, why: str) -> None:
+        """Record a present-but-undecodable checkpoint (never silent)."""
+        logger.warning("corrupt checkpoint %s (%s); circuit will be re-run", path, why)
+        if self.stats is not None:
+            self.stats.count("checkpoint.corrupt")
+
     def load(self, job: "CircuitJob") -> "CircuitJobResult | None":
         """Stored result for ``job``, or ``None`` when it must be (re)run.
 
-        ``None`` covers: no checkpoint, unreadable/corrupt JSON, a
-        different format version, and any parameter mismatch (scale,
-        sweep coverage, heuristic list/order).
+        ``None`` covers three distinct cases:
+
+        * *missing* -- no checkpoint file: the normal first-run state,
+          silent;
+        * *corrupt* -- the file exists but cannot be decoded (truncated
+          JSON, unreadable, wrong payload shape): logged as a warning
+          and counted as ``checkpoint.corrupt`` on :attr:`stats`, since
+          it usually means a crash outside the atomic-write protocol or
+          disk trouble worth surfacing;
+        * *stale* -- decodes fine but the parameter envelope (version,
+          scale, sweeps, heuristics, budget/timeout) does not match this
+          run: silent, the circuit is simply recomputed.
         """
         from .runner import CircuitJobResult, effective_heuristics
 
+        path = self.path_for(job.circuit)
         try:
-            payload = json.loads(self.path_for(job.circuit).read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._corrupt(path, f"unreadable: {exc}")
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._corrupt(path, f"invalid JSON: {exc}")
             return None
         if not isinstance(payload, dict):
+            self._corrupt(path, f"expected an object, got {type(payload).__name__}")
             return None
         if payload.get("version") != CHECKPOINT_VERSION:
             return None
         if payload.get("circuit") != job.circuit:
             return None
         if payload.get("scale") != asdict(job.scale):
+            return None
+        envelope = _budget_envelope(self.budget, self.timeout)
+        if payload.get("budget") != envelope.get("budget"):
+            return None
+        if payload.get("timeout") != envelope.get("timeout"):
             return None
         if job.run_basic:
             basic = payload.get("basic")
@@ -122,7 +191,8 @@ class RunCheckpoint:
             return None
         try:
             return CircuitJobResult.from_payload(payload)
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError) as exc:
+            self._corrupt(path, f"undecodable payload: {exc}")
             return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -47,6 +47,7 @@ resume path behind ``repro-pdf tables --checkpoint-dir D --resume``.
 from __future__ import annotations
 
 import os
+import signal
 import time
 import traceback as _tb
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -56,6 +57,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..engine import Engine
 from ..engine.stats import EngineStats
+from ..robustness import Budget
 
 if TYPE_CHECKING:  # experiments imports parallel; keep the reverse type-only
     from ..experiments.results import CircuitBasicResult, Table6Row
@@ -294,10 +296,60 @@ def _run_job_guarded(
     return result
 
 
-def _pool_entry(job: CircuitJob, attempt: int) -> CircuitJobResult | JobFailure:
-    """Guarded pool-worker entry point: never raises, ships stats back."""
+def _effective_budget(
+    budget: Budget | None, timeout: float | None
+) -> Budget | None:
+    """The budget one job attempt runs under: the run budget (its
+    *remaining* allowance) tightened to the per-job ``timeout``.
+
+    ``None`` when neither is set -- the attempt runs unbudgeted, exactly
+    as before budgets existed.  The returned budget is fresh and
+    unstarted; the executing side calls ``start()`` so the deadline
+    anchors on its own clock (monotonic clocks are not portable across
+    processes).
+    """
+    if budget is not None and budget.is_null:
+        budget = None
+    if budget is None and timeout is None:
+        return None
+    base = budget.forked() if budget is not None else Budget()
+    return base.limited(timeout)
+
+
+def _pool_entry(
+    job: CircuitJob,
+    attempt: int,
+    budget: Budget | None = None,
+    timeout: float | None = None,
+) -> CircuitJobResult | JobFailure:
+    """Guarded pool-worker entry point: never raises, ships stats back.
+
+    A budget (run budget and/or per-job ``timeout``) is applied
+    *cooperatively*: the worker's engine carries it into every session,
+    so deadline expiry degrades the job into a partial result that is
+    still shipped back and checkpointed -- unlike the parent's hard pool
+    timeout, which discards the job.  While a budget is active, SIGTERM
+    cancels it instead of killing the worker, so an orderly shutdown
+    (e.g. a cluster preemption that signals before SIGKILL) also
+    salvages the partial result.
+    """
     engine = Engine()
-    outcome = _run_job_guarded(job, engine, attempt, in_worker=True)
+    effective = _effective_budget(budget, timeout)
+    previous_handler = None
+    if effective is not None:
+        effective.start()
+        engine.budget = effective
+        try:
+            previous_handler = signal.signal(
+                signal.SIGTERM, lambda _sig, _frame: effective.cancel()
+            )
+        except (ValueError, OSError):  # non-main thread / unsupported platform
+            previous_handler = None
+    try:
+        outcome = _run_job_guarded(job, engine, attempt, in_worker=True)
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
     if isinstance(outcome, CircuitJobResult):
         outcome.stats = engine.stats
     return outcome
@@ -325,11 +377,23 @@ class ParallelRunner:
     max_retries:
         Extra attempts per job after its first failure (default 1).
     timeout:
-        Optional per-job wall-clock budget in seconds, enforced on the
-        pool path: when no job completes for ``timeout`` seconds, every
-        outstanding job (each necessarily running at least that long) is
-        marked timed out.  In-process runs cannot be preempted and ignore
-        it.
+        Optional per-job wall-clock budget in seconds.  Enforced
+        *cooperatively* first: each job attempt runs under a
+        :class:`~repro.robustness.Budget` whose deadline is ``timeout``,
+        so an overrunning circuit degrades into a partial result
+        (aborted faults reported) that is still returned and
+        checkpointed -- on the pool path *and* in-process.  The pool
+        additionally keeps a hard backstop: when no job completes for
+        ``timeout * 1.25 + 1`` seconds (grace for jobs that salvage
+        close to the deadline), every outstanding job is marked timed
+        out and its result discarded.  The backstop catches
+        non-cooperative stalls (a worker stuck in a syscall or a C
+        kernel) that the cooperative deadline cannot interrupt.
+    budget:
+        Optional run-wide :class:`~repro.robustness.Budget`.  Every job
+        attempt receives its *remaining* allowance (combined with
+        ``timeout`` via ``Budget.limited``), so node/attempt caps apply
+        inside workers and a run deadline bounds the whole sweep.
     """
 
     def __init__(
@@ -338,6 +402,7 @@ class ParallelRunner:
         engine: Engine | None = None,
         max_retries: int = 1,
         timeout: float | None = None,
+        budget: Budget | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.engine = engine if engine is not None else Engine()
@@ -347,6 +412,9 @@ class ParallelRunner:
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.timeout = timeout
+        if budget is None:
+            budget = self.engine.budget
+        self.budget = budget if budget is None or not budget.is_null else None
 
     def run(
         self,
@@ -366,6 +434,10 @@ class ParallelRunner:
         results: dict[str, CircuitJobResult] = {}
         failures: list[JobFailure] = []
         pending: list[CircuitJob] = []
+        if self.budget is not None:
+            self.budget.start()
+        if checkpoint is not None and checkpoint.stats is None:
+            checkpoint.stats = self.engine.stats
         for job in job_list:
             cached = checkpoint.load(job) if checkpoint is not None else None
             if cached is not None:
@@ -408,12 +480,31 @@ class ParallelRunner:
     def _attempt_serial(
         self, job: CircuitJob, failures: list[JobFailure]
     ) -> CircuitJobResult | None:
-        """In-process execution with the retry policy applied."""
+        """In-process execution with the retry policy applied.
+
+        The per-job cooperative budget applies here too (installed on
+        the engine for the duration of the attempt), so ``--timeout``
+        and run budgets work at ``--jobs 1`` -- degradation instead of
+        the pool path's preemption.
+        """
         last: JobFailure | None = None
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self.engine.stats.count("parallel.retries")
-            outcome = _run_job_guarded(job, self.engine, attempt, in_worker=False)
+            effective = _effective_budget(self.budget, self.timeout)
+            if effective is None:
+                outcome = _run_job_guarded(
+                    job, self.engine, attempt, in_worker=False
+                )
+            else:
+                previous = self.engine.budget
+                self.engine.budget = effective.start()
+                try:
+                    outcome = _run_job_guarded(
+                        job, self.engine, attempt, in_worker=False
+                    )
+                finally:
+                    self.engine.budget = previous
             if isinstance(outcome, CircuitJobResult):
                 return outcome
             last = outcome
@@ -484,6 +575,27 @@ class ParallelRunner:
                         self._record(job, outcome, results, checkpoint)
                 return
 
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Kill the workers of a pool the backstop declared stuck.
+
+        Abandoning the pool (``shutdown(wait=False)``) is not enough: the
+        interpreter's exit handler still joins the pool machinery, so a
+        worker stalled in a syscall would keep the *parent* alive long
+        after the run reported its timeout.  SIGTERM first -- a worker
+        that can still cooperate cancels its budget and dies cleanly --
+        then SIGKILL for anything that cannot be reasoned with.
+        """
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            process.terminate()
+        grace = time.monotonic() + 2.0
+        for process in processes:
+            process.join(max(0.0, grace - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+
     def _pool_round(
         self,
         queue: Sequence[tuple[CircuitJob, int]],
@@ -506,9 +618,22 @@ class ParallelRunner:
             max_workers=workers, initializer=_init_pool_worker
         )
         clean = True
+        # The hard wait backstop leaves the cooperative deadline headroom
+        # to salvage a partial result: a worker that trips its budget at
+        # ~timeout still needs to finish the in-flight seam and ship the
+        # result back before the parent gives up on it.
+        wait_timeout = (
+            self.timeout * 1.25 + 1.0 if self.timeout is not None else None
+        )
         try:
             future_map = {
-                pool.submit(_pool_entry, job, attempt): (job, attempt)
+                pool.submit(
+                    _pool_entry,
+                    job,
+                    attempt,
+                    self.budget.forked() if self.budget is not None else None,
+                    self.timeout,
+                ): (job, attempt)
                 for job, attempt in queue
             }
             # `remaining` = futures not yet handed off to an outcome list;
@@ -516,7 +641,7 @@ class ParallelRunner:
             remaining = set(future_map)
             while remaining and not broken:
                 done, _ = wait(
-                    remaining, timeout=self.timeout, return_when=FIRST_COMPLETED
+                    remaining, timeout=wait_timeout, return_when=FIRST_COMPLETED
                 )
                 if not done:
                     # Nothing finished within the per-job budget: every
@@ -526,6 +651,7 @@ class ParallelRunner:
                         timed_out.append(future_map[future])
                     remaining = set()
                     clean = False
+                    self._terminate_workers(pool)
                     break
                 for future in done:
                     remaining.discard(future)

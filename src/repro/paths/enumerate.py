@@ -35,14 +35,18 @@ from dataclasses import dataclass
 from ..circuit.analysis import distance_to_outputs
 from ..circuit.netlist import Netlist
 from ..faults.path import Path
+from ..robustness import DEADLINE, ENUMERATION_CAP, Budget, ReproError
 
 __all__ = ["EnumerationResult", "EnumerationOverflow", "enumerate_paths"]
 
 #: Each path carries two path delay faults (slow-to-rise, slow-to-fall).
 FAULTS_PER_PATH = 2
 
+#: Budget deadline checks are amortised over this many expansions.
+_DEADLINE_STRIDE = 64
 
-class EnumerationOverflow(RuntimeError):
+
+class EnumerationOverflow(ReproError, RuntimeError):
     """Raised when the basic procedure cannot keep ``P`` within bounds."""
 
 
@@ -61,6 +65,12 @@ class EnumerationResult:
         Work counters for diagnostics and tests.
     min_kept_length / max_kept_length:
         Length range of the surviving complete paths (0/0 when empty).
+    budget_exhausted:
+        ``None`` for a full enumeration; otherwise the budget reason
+        (``enumeration_cap`` or ``deadline``) that stopped the walk early.
+        The complete paths found so far are kept either way -- a budgeted
+        enumeration degrades to a shallower longest-paths subset instead
+        of raising.
     """
 
     paths: list[Path]
@@ -70,6 +80,7 @@ class EnumerationResult:
     pruned_partial: int
     min_kept_length: int = 0
     max_kept_length: int = 0
+    budget_exhausted: str | None = None
 
     @property
     def num_faults(self) -> int:
@@ -93,6 +104,7 @@ def enumerate_paths(
     max_faults: int = 10000,
     use_distances: bool = True,
     max_expansions: int = 2_000_000,
+    budget: Budget | None = None,
 ) -> EnumerationResult:
     """Enumerate the faults on the longest paths, capped at ``max_faults``.
 
@@ -107,9 +119,17 @@ def enumerate_paths(
         Select the distance-based variant (default) or the basic one.
     max_expansions:
         Safety valve for the basic variant on path-rich circuits.
+    budget:
+        Optional :class:`~repro.robustness.Budget`.  Its ``enumeration_cap``
+        and deadline stop the walk *gracefully*: the complete paths found so
+        far survive and ``budget_exhausted`` records the reason, unlike the
+        ``max_expansions`` valve which raises.  ``None`` (or a null budget)
+        reproduces the unbudgeted behaviour exactly.
     """
     if max_faults < FAULTS_PER_PATH:
         raise ValueError("max_faults must allow at least one path")
+    if budget is not None and budget.is_null:
+        budget = None
 
     distance = distance_to_outputs(netlist)
     is_output = [False] * len(netlist)
@@ -213,10 +233,21 @@ def enumerate_paths(
                 return record
         return None
 
+    budget_exhausted: str | None = None
     while True:
         record = next_partial()
         if record is None:
             break
+        if budget is not None:
+            if (
+                budget.enumeration_cap is not None
+                and expansions >= budget.enumeration_cap
+            ):
+                budget_exhausted = ENUMERATION_CAP
+                break
+            if expansions % _DEADLINE_STRIDE == 0 and budget.deadline_expired():
+                budget_exhausted = DEADLINE
+                break
         expansions += 1
         if expansions > max_expansions:
             raise EnumerationOverflow(
@@ -243,6 +274,7 @@ def enumerate_paths(
         expansions=expansions,
         pruned_complete=pruned_complete,
         pruned_partial=pruned_partial,
+        budget_exhausted=budget_exhausted,
     )
     if survivors:
         result.max_kept_length = survivors[0].length

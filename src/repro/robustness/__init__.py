@@ -1,0 +1,44 @@
+"""Resource budgets, graceful degradation, and the typed error hierarchy.
+
+One :class:`Budget` object expresses every resource cap (wall-clock
+deadline, justification node/attempt limits, path-enumeration cap,
+aborted-fault limit) and is threaded through the enumeration, ATPG,
+engine-session and parallel layers.  Tripped caps surface as structured
+:class:`BudgetExceeded` errors at checked seams; per-fault trips are
+recorded as :class:`AbortedFault` entries (the ``aborted`` leg of the
+detected / untestable / aborted / undetected taxonomy) and the run keeps
+going, so a budgeted run always terminates with a usable, honestly
+reported test set.
+"""
+
+from .budget import (
+    ABORT_LIMIT,
+    ABORT_REASONS,
+    ATTEMPT_LIMIT,
+    BUDGET_PROFILES,
+    DEADLINE,
+    ENUMERATION_CAP,
+    FAULT_STATUSES,
+    NODE_LIMIT,
+    AbortedFault,
+    Budget,
+    budget_from_profile,
+)
+from .errors import BudgetExceeded, InternalInvariantError, ReproError
+
+__all__ = [
+    "Budget",
+    "AbortedFault",
+    "BudgetExceeded",
+    "InternalInvariantError",
+    "ReproError",
+    "ABORT_REASONS",
+    "FAULT_STATUSES",
+    "DEADLINE",
+    "NODE_LIMIT",
+    "ATTEMPT_LIMIT",
+    "ENUMERATION_CAP",
+    "ABORT_LIMIT",
+    "BUDGET_PROFILES",
+    "budget_from_profile",
+]

@@ -1,0 +1,88 @@
+"""Typed exception hierarchy for the resource-budget subsystem.
+
+Before this module existed the engine signalled resource exhaustion and
+internal bugs through ad-hoc exception types scattered across layers:
+``SearchExhausted`` (a bare ``RuntimeError``) from the branch-and-bound
+justifier, ``EnumerationOverflow`` from the path enumerator, and bare
+``AssertionError`` for violated engine invariants.  Callers could not tell
+"the circuit is too hard for this budget" (expected, degrade gracefully)
+from "the engine is broken" (a bug, fail loudly).
+
+The hierarchy fixes that:
+
+``ReproError``
+    Root of every typed error the engine raises deliberately.
+
+``BudgetExceeded``
+    A resource budget tripped.  Carries the machine-readable ``reason``
+    (one of :data:`repro.robustness.budget.ABORT_REASONS`), the ``phase``
+    that was executing (``justify``, ``bnb``, ``enumerate``, ``generate``,
+    ...) and a ``progress`` dict of work counters at the moment of the
+    trip, so the seam that catches it can record an aborted fault with
+    full context.  Subclasses ``RuntimeError`` so legacy ``except
+    RuntimeError`` call sites keep working.
+
+``InternalInvariantError``
+    A *violated engine invariant* -- always a bug, never a budget issue.
+    Subclasses ``AssertionError`` so existing harnesses that treat
+    assertion failures as hard errors keep doing so, while new callers can
+    discriminate it from :class:`BudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "BudgetExceeded", "InternalInvariantError"]
+
+
+class ReproError(Exception):
+    """Root of the engine's typed exception hierarchy."""
+
+
+class InternalInvariantError(ReproError, AssertionError):
+    """An engine invariant was violated: this is a bug, not exhaustion.
+
+    Raised instead of a bare ``AssertionError`` (e.g. the justifier's
+    monotonicity check) so callers draining a budget can distinguish
+    "out of resources, record the fault as aborted" from "the engine
+    miscomputed, abort the run and report the defect".
+    """
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A resource budget tripped during ``phase``.
+
+    Parameters
+    ----------
+    reason:
+        Machine-readable cause; one of
+        :data:`repro.robustness.budget.ABORT_REASONS`
+        (``deadline``, ``node_limit``, ``attempt_limit``,
+        ``enumeration_cap``, ``abort_limit``).
+    phase:
+        The pipeline stage that was executing when the budget tripped
+        (``justify``, ``bnb``, ``enumerate``, ``target_sets``,
+        ``generate``, ...).
+    message:
+        Optional human-readable detail; a default is derived from
+        ``reason`` when omitted.
+    progress:
+        Work counters at the moment of the trip (rounds simulated, nodes
+        expanded, ...), preserved for diagnostics on the aborted-fault
+        record.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        phase: str,
+        message: str = "",
+        progress: dict | None = None,
+    ) -> None:
+        self.reason = reason
+        self.phase = phase
+        self.progress = dict(progress) if progress else {}
+        detail = message or f"{reason} budget exhausted"
+        if self.progress:
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(self.progress.items()))
+            detail = f"{detail} ({extras})"
+        super().__init__(f"[{phase}] {detail}")

@@ -1,0 +1,133 @@
+"""Property/fuzz tests: the ``.bench`` parser must fail closed.
+
+Whatever malformed input arrives -- truncated lines, duplicate outputs,
+undeclared nets, combinational cycles, raw byte soup -- ``parse_bench``
+either returns a frozen netlist or raises :class:`BenchParseError` /
+:class:`NetlistError`.  It must never leak an internal ``KeyError`` or
+``RecursionError``, and never hang (the parser is a single linear pass
+and ``freeze`` is an iterative Kahn sort; the strategies below keep
+inputs small so any accidental super-linear behaviour would show up as a
+hypothesis deadline failure).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import BenchParseError, NetlistError, parse_bench
+
+# Small closed name universe: collisions (duplicate nodes, dangling
+# references, cycles) become likely instead of vanishingly rare.
+NAMES = ("a", "b", "c", "d", "q", "y", "n1", "n2")
+OPS = ("AND", "NAND", "OR", "NOR", "NOT", "BUFF", "XOR", "DFF", "FOO", "")
+
+names = st.sampled_from(NAMES)
+ops = st.sampled_from(OPS)
+arg_lists = st.lists(names, min_size=0, max_size=4).map(", ".join)
+
+
+@st.composite
+def netlist_lines(draw) -> str:
+    """One plausible-to-broken ``.bench`` line."""
+    kind = draw(st.integers(min_value=0, max_value=6))
+    name = draw(names)
+    if kind == 0:
+        return f"INPUT({name})"
+    if kind == 1:
+        return f"OUTPUT({name})"
+    if kind == 2:
+        return f"{name} = {draw(ops)}({draw(arg_lists)})"
+    if kind == 3:  # truncated assignment
+        return f"{name} = {draw(ops)}({draw(arg_lists)}"
+    if kind == 4:  # truncated declaration
+        return draw(st.sampled_from(("INPUT(", "OUTPUT(", f"{name} =")))
+    if kind == 5:
+        return f"# {name} comment"
+    return draw(st.text(min_size=0, max_size=20))
+
+
+def assert_fail_closed(text: str) -> None:
+    """The fuzz property: parse cleanly or raise the documented errors."""
+    try:
+        netlist, _ = parse_bench(text)
+    except (BenchParseError, NetlistError):
+        return
+    assert netlist.frozen
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(netlist_lines(), min_size=0, max_size=12).map("\n".join))
+def test_line_soup_never_leaks_internal_errors(text):
+    assert_fail_closed(text)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=200))
+def test_arbitrary_text_never_leaks_internal_errors(text):
+    assert_fail_closed(text)
+
+
+VALID = """\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q)
+n1 = NAND(a, b)
+y = OR(n1, d)
+"""
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(VALID) - 1),
+    st.integers(min_value=0, max_value=len(VALID)),
+    st.sampled_from(("", "(", ")", ",", "=", "OUTPUT(y)", "q = DFF(d)", "\x00")),
+)
+def test_mutated_valid_circuit_never_leaks_internal_errors(cut, pos, insert):
+    # Truncate at a random point, then splice random fragments back in.
+    mutated = VALID[:cut]
+    mutated = mutated[:pos] + insert + mutated[pos:]
+    assert_fail_closed(mutated)
+
+
+class TestKnownMalformations:
+    """Deterministic anchors for each malformation family the fuzzers cover."""
+
+    def test_duplicate_explicit_output_raises_with_line_number(self):
+        with pytest.raises(BenchParseError) as exc_info:
+            parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert exc_info.value.line_no == 3
+
+    def test_undeclared_net_raises(self):
+        with pytest.raises((BenchParseError, NetlistError)):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_cycle_raises(self):
+        with pytest.raises((BenchParseError, NetlistError)):
+            parse_bench(
+                "INPUT(a)\nOUTPUT(y)\nn1 = AND(a, n2)\nn2 = AND(a, n1)\n"
+                "y = NOT(n1)\n"
+            )
+
+    def test_self_loop_raises(self):
+        with pytest.raises((BenchParseError, NetlistError)):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(y, a)\n")
+
+    def test_duplicate_node_raises(self):
+        with pytest.raises((BenchParseError, NetlistError)):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n")
+
+    def test_dff_target_clashing_with_input_raises(self):
+        with pytest.raises((BenchParseError, NetlistError)):
+            parse_bench("INPUT(q)\nOUTPUT(y)\nq = DFF(d)\nd = NOT(q)\ny = BUFF(d)\n")
+
+    def test_truncated_assignment_raises(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a\n")
+
+    def test_missing_outputs_raises(self):
+        with pytest.raises((BenchParseError, NetlistError)):
+            parse_bench("INPUT(a)\ny = NOT(a)\n")

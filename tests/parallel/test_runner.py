@@ -215,6 +215,29 @@ class TestFailurePaths:
         assert [r.circuit for r in excinfo.value.results] == ["s27"]
         assert engine.stats.counter("parallel.timeouts") == 1
 
+    def test_timeout_kills_stuck_workers(self, monkeypatch):
+        """Declaring a worker stuck must also terminate it: an abandoned
+        pool is still joined at interpreter exit, so a 600s sleeper left
+        alive would keep the parent process hanging long after the run
+        reported its timeout failure."""
+        import multiprocessing
+        import time as _time
+
+        monkeypatch.setenv("REPRO_INJECT_SLEEP", "c17:600")
+        runner = ParallelRunner(jobs=2, max_retries=0, timeout=2.0)
+        jobs = [CircuitJob("s27", TINY), CircuitJob("c17", TINY)]
+        before = {p.pid for p in multiprocessing.active_children()}
+        with pytest.raises(ParallelRunError):
+            runner.run(jobs)
+        leftover = [
+            p for p in multiprocessing.active_children() if p.pid not in before
+        ]
+        deadline = _time.monotonic() + 5.0
+        while leftover and _time.monotonic() < deadline:
+            _time.sleep(0.1)
+            leftover = [p for p in leftover if p.is_alive()]
+        assert leftover == []  # the 600s sleeper was killed, not abandoned
+
     def test_constructor_rejects_bad_policy(self):
         with pytest.raises(ValueError):
             ParallelRunner(jobs=1, max_retries=-1)
