@@ -2,7 +2,14 @@
 
 from .bnb import BranchAndBoundJustifier, SearchExhausted
 from .enrich import EnrichmentReport, generate_enriched
-from .generator import AtpgConfig, Heuristic, TestGenerator, generate_basic
+from .generator import (
+    AtpgConfig,
+    Heuristic,
+    PrimaryOutcome,
+    TestGenerator,
+    derive_primary_rng,
+    generate_basic,
+)
 from .heuristics import longest_first, order_pool
 from .justify import (
     Justifier,
@@ -26,6 +33,8 @@ __all__ = [
     "Heuristic",
     "TestGenerator",
     "generate_basic",
+    "PrimaryOutcome",
+    "derive_primary_rng",
     "GeneratedTest",
     "GenerationResult",
     "EnrichmentReport",

@@ -217,6 +217,14 @@ def _cmd_tables(args, engine: Engine) -> int:
             )
         circuits = TABLE3_CIRCUITS if not args.quick else TABLE3_CIRCUITS[:1]
         table6 = TABLE6_CIRCUITS if not args.quick else TABLE6_CIRCUITS[:1]
+        if args.shards is not None:
+            print(
+                f"sharding: {args.shards} shard(s) per circuit "
+                f"(min {args.shard_min_faults} fault(s)/shard, "
+                f"jobs={args.jobs if args.jobs is not None else 'auto'}); "
+                f"output is independent of the shard and worker counts",
+                file=sys.stderr,
+            )
         try:
             results = run_all(
                 scale,
@@ -229,6 +237,8 @@ def _cmd_tables(args, engine: Engine) -> int:
                 max_retries=args.max_retries,
                 timeout=args.timeout,
                 budget=_build_budget(args),
+                shards=args.shards,
+                shard_min_faults=args.shard_min_faults,
             )
         except ParallelRunError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -236,11 +246,19 @@ def _cmd_tables(args, engine: Engine) -> int:
                 print(f"  {failure.describe()}", file=sys.stderr)
             if args.checkpoint_dir:
                 print(
-                    f"completed circuits are checkpointed under "
-                    f"{args.checkpoint_dir}; rerun with --resume to skip them",
+                    f"completed work is checkpointed under "
+                    f"{args.checkpoint_dir}; rerun with --resume to skip it",
                     file=sys.stderr,
                 )
             return 1
+        if args.shards is not None:
+            shard_wall = engine.stats.maxima.get("shard.wall")
+            if shard_wall is not None:
+                print(
+                    f"sharding: slowest shard {shard_wall:.2f}s "
+                    f"(critical path of the sharded sweep)",
+                    file=sys.stderr,
+                )
     if args.out:
         Path(args.out).write_text(results.to_json())
         print(f"wrote {args.out}", file=sys.stderr)
@@ -376,11 +394,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: all CPUs; 1 = in-process serial path)",
     )
     p_tables.add_argument(
+        "--shards",
+        type=_positive_int_arg,
+        default=None,
+        metavar="K",
+        help="split each circuit's primary-fault universe into K pool "
+        "tasks (deterministic merge; output is independent of K and "
+        "--jobs, with --shards 1 --jobs 1 as the serial reference). "
+        "Default: no sharding (legacy per-circuit semantics)",
+    )
+    p_tables.add_argument(
+        "--shard-min-faults",
+        type=_positive_int_arg,
+        default=1,
+        metavar="N",
+        help="minimum primary faults per shard; circuits with fewer than "
+        "K*N primaries use fewer shards (default 1)",
+    )
+    p_tables.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         default=None,
-        help="persist each circuit's result to DIR/<circuit>.json as it "
-        "completes (cleared first unless --resume)",
+        help="persist each result to DIR as it completes "
+        "(<circuit>.json, or <circuit>.shardK.json with --shards; "
+        "cleared first unless --resume)",
     )
     p_tables.add_argument(
         "--resume",

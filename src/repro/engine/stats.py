@@ -35,12 +35,22 @@ Counter naming convention:
   be decoded (distinguished from simply missing ones, which stay silent).
 
 Timers accumulate wall-clock seconds under the same names (``enumerate``,
-``target_sets``, ``justify``, ``generate``).
+``target_sets``, ``justify``, ``generate``).  ``maxima`` are max-semantics
+timers (:meth:`EngineStats.max_time`): merging keeps the largest observed
+value instead of summing, which is what per-shard wall clocks need
+(``shard.wall`` reports the *critical path* of a sharded circuit, not the
+sum of its workers' clocks).
+
+Every instance carries a random ``origin`` token, and :meth:`merge`
+records the origins it has folded: re-merging the same stats object (or a
+snapshot round-trip of it) is a no-op, so a seam that accidentally folds
+one worker's snapshot twice cannot double-count.
 """
 
 from __future__ import annotations
 
 import time
+import uuid
 from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
@@ -54,6 +64,9 @@ class EngineStats:
     def __init__(self) -> None:
         self.counters: Counter[str] = Counter()
         self.timers: dict[str, float] = {}
+        self.maxima: dict[str, float] = {}
+        self.origin: str = uuid.uuid4().hex
+        self._merged_origins: set[str] = set()
 
     # -- counters ------------------------------------------------------
 
@@ -94,32 +107,75 @@ class EngineStats:
         finally:
             self.add_time(name, time.perf_counter() - started)
 
+    def max_time(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` under max semantics: keep the largest value.
+
+        Use for quantities where summing across merges would lie -- e.g.
+        the wall clock of one shard worker, whose merged value should be
+        the slowest worker (the critical path), not the workers' total.
+        """
+        current = self.maxima.get(name)
+        if current is None or seconds > current:
+            self.maxima[name] = seconds
+
     # -- reporting -----------------------------------------------------
 
     def merge(self, other: "EngineStats") -> None:
-        """Fold another stats object into this one."""
+        """Fold another stats object into this one (idempotent per origin).
+
+        A stats object (or a snapshot round-trip of one) whose ``origin``
+        was already folded -- including this object itself -- is skipped
+        entirely: counters and sum-semantics timers would double-count on
+        a second fold, and re-merge bugs at the runner/checkpoint seams
+        are otherwise silent.
+        """
+        if other is self or other.origin == self.origin:
+            return
+        if other.origin in self._merged_origins:
+            return
+        self._merged_origins.add(other.origin)
+        self._merged_origins.update(other._merged_origins)
         self.counters.update(other.counters)
         for name, seconds in other.timers.items():
             self.add_time(name, seconds)
+        for name, seconds in other.maxima.items():
+            self.max_time(name, seconds)
 
     def snapshot(self) -> dict:
-        """Plain-dict view (stable for JSON serialization and tests)."""
-        return {
+        """Plain-dict view (stable for JSON serialization and tests).
+
+        ``origin`` rides along so a round-tripped snapshot still
+        deduplicates in :meth:`merge`; ``maxima`` appears only when
+        max-semantics timers were recorded (keeping older payloads
+        byte-stable).
+        """
+        payload = {
             "counters": dict(sorted(self.counters.items())),
             "timers": dict(sorted(self.timers.items())),
+            "origin": self.origin,
         }
+        if self.maxima:
+            payload["maxima"] = dict(sorted(self.maxima.items()))
+        return payload
 
     @classmethod
     def from_snapshot(cls, payload: dict) -> "EngineStats":
         """Rebuild a stats object from a :meth:`snapshot` dict.
 
         Used by the parallel runner's checkpoint files, which persist a
-        worker's instrumentation alongside its results.
+        worker's instrumentation alongside its results.  The stored
+        ``origin`` is restored (snapshots without one -- written before
+        merge deduplication existed -- get a fresh token).
         """
         stats = cls()
         stats.counters.update(payload.get("counters", {}))
         for name, seconds in payload.get("timers", {}).items():
             stats.add_time(name, float(seconds))
+        for name, seconds in payload.get("maxima", {}).items():
+            stats.max_time(name, float(seconds))
+        origin = payload.get("origin")
+        if origin:
+            stats.origin = origin
         return stats
 
     def format(self) -> str:
@@ -135,6 +191,11 @@ class EngineStats:
             width = max(len(name) for name in self.timers)
             for name in sorted(self.timers):
                 lines.append(f"    {name:<{width}}  {self.timers[name]:.3f}")
+        if self.maxima:
+            lines.append("  maxima (s):")
+            width = max(len(name) for name in self.maxima)
+            for name in sorted(self.maxima):
+                lines.append(f"    {name:<{width}}  {self.maxima[name]:.3f}")
         if len(lines) == 1:
             lines.append("  (no activity recorded)")
         return "\n".join(lines)

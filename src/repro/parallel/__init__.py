@@ -1,5 +1,6 @@
 """Parallel execution layer: per-circuit fan-out over a process pool,
-with retry/salvage fault tolerance and checkpoint/resume persistence."""
+intra-circuit fault sharding with deterministic merge, retry/salvage
+fault tolerance and checkpoint/resume persistence."""
 
 from .checkpoint import RunCheckpoint
 from .runner import (
@@ -12,15 +13,27 @@ from .runner import (
     resolve_jobs,
     run_circuit_job,
 )
+from .sharding import (
+    FaultShardJob,
+    ShardJobResult,
+    ShardSweep,
+    merge_shard_results,
+    run_fault_shard_job,
+)
 
 __all__ = [
     "CircuitJob",
     "CircuitJobResult",
+    "FaultShardJob",
     "JobFailure",
     "ParallelRunError",
     "ParallelRunner",
     "RunCheckpoint",
+    "ShardJobResult",
+    "ShardSweep",
+    "merge_shard_results",
     "resolve_jobs",
     "run_circuit_job",
+    "run_fault_shard_job",
     "execute_job",
 ]

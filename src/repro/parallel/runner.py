@@ -10,6 +10,12 @@ seed)``.  :class:`ParallelRunner` exploits that:
 * one pool worker owns one :class:`~repro.engine.CircuitSession`, so a
   circuit appearing in both the basic and the enrichment sweeps still
   compiles its artifacts exactly once;
+* a :class:`~repro.parallel.sharding.FaultShardJob` splits *one*
+  circuit's primary-fault universe across several pool tasks (see
+  :mod:`repro.parallel.sharding`); the runner treats both job kinds
+  uniformly through their ``key`` property (``circuit`` for circuit
+  jobs, ``circuit#shard`` for shard jobs), so retries, timeouts,
+  chaos injection and checkpoints all operate at shard granularity;
 * results come back as the plain dataclasses of
   :mod:`repro.experiments.results` and are merged **in submission order**,
   so ``--jobs N`` output is identical to the serial path for every
@@ -38,10 +44,11 @@ results.  Retries, timeouts, fallbacks and failures are recorded on the
 parent engine's stats under ``parallel.*`` counters.
 
 Passing a :class:`~repro.parallel.checkpoint.RunCheckpoint` to
-:meth:`ParallelRunner.run` additionally persists every finished
-:class:`CircuitJobResult` to ``<dir>/<circuit>.json`` as it completes,
-and skips jobs whose matching checkpoint already exists -- the
-resume path behind ``repro-pdf tables --checkpoint-dir D --resume``.
+:meth:`ParallelRunner.run` additionally persists every finished result
+as it completes (``<dir>/<circuit>.json`` for circuit jobs,
+``<dir>/<circuit>.shard<i>.json`` for fault shards), and skips jobs
+whose matching checkpoint already exists -- the resume path behind
+``repro-pdf tables --checkpoint-dir D --resume``.
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from ..engine import Engine
 from ..engine.stats import EngineStats
 from ..robustness import Budget
+from .sharding import FaultShardJob, ShardJobResult, run_fault_shard_job
 
 if TYPE_CHECKING:  # experiments imports parallel; keep the reverse type-only
     from ..experiments.results import CircuitBasicResult, Table6Row
@@ -100,8 +108,17 @@ class CircuitJob:
     run_basic: bool = False
     run_table6: bool = False
 
+    @property
+    def key(self) -> str:
+        """Runner/checkpoint identity (circuit jobs are keyed by circuit)."""
+        return self.circuit
 
-def effective_heuristics(job: CircuitJob) -> tuple[str, ...]:
+
+#: Everything the runner can execute: whole-circuit jobs and fault shards.
+Job = CircuitJob | FaultShardJob
+
+
+def effective_heuristics(job: "Job") -> tuple[str, ...]:
     """The heuristic list a job will actually run (resolving the default)."""
     if job.heuristics:
         return tuple(job.heuristics)
@@ -122,6 +139,10 @@ class CircuitJobResult:
     basic: "CircuitBasicResult | None" = None
     table6: "Table6Row | None" = None
     stats: EngineStats | None = None
+
+    @property
+    def key(self) -> str:
+        return self.circuit
 
     def to_payload(self) -> dict:
         """JSON-ready dict (see :meth:`from_payload`; used by checkpoints)."""
@@ -156,8 +177,10 @@ class JobFailure:
     Built inside the worker (or the in-process runner) instead of letting
     the exception propagate, so one bad circuit cannot abort the sweep
     and the parent still learns *where* it died: ``phase`` is the
-    pipeline stage (``inject``/``session``/``basic``/``table6``) or the
-    runner-level cause (``timeout``/``pool``).
+    pipeline stage (``inject``/``session``/``basic``/``table6``/
+    ``shard``) or the runner-level cause (``timeout``/``pool``).
+    ``circuit`` holds the failing job's *key* -- the circuit name for
+    circuit jobs, ``circuit#shard`` for fault shards.
     """
 
     circuit: str
@@ -199,7 +222,7 @@ class ParallelRunError(RuntimeError):
     def __init__(
         self,
         failures: Sequence[JobFailure],
-        results: Sequence[CircuitJobResult],
+        results: "Sequence[CircuitJobResult | ShardJobResult]",
     ) -> None:
         self.failures = list(failures)
         self.results = list(results)
@@ -233,54 +256,64 @@ def run_circuit_job(job: CircuitJob, engine: Engine) -> CircuitJobResult:
     return CircuitJobResult(circuit=job.circuit, basic=basic, table6=table6)
 
 
-def execute_job(job: CircuitJob) -> CircuitJobResult:
+def execute_job(job: "Job") -> "CircuitJobResult | ShardJobResult":
     """Pool-worker entry point: fresh engine, stats shipped back."""
     engine = Engine()
-    result = run_circuit_job(job, engine)
+    if isinstance(job, FaultShardJob):
+        result = run_fault_shard_job(job, engine)
+    else:
+        result = run_circuit_job(job, engine)
     result.stats = engine.stats
     return result
 
 
-def _inject_chaos(job: CircuitJob, attempt: int, in_worker: bool) -> None:
+def _inject_chaos(job: "Job", attempt: int, in_worker: bool) -> None:
     """Test-only fault injection, keyed off environment variables.
 
     Environment variables cross process boundaries under every pool start
     method, unlike monkeypatching, so the failure-path tests use these:
 
-    * ``REPRO_INJECT_FAIL=<circuit>[:<n>]`` -- raise ``RuntimeError`` for
-      the first ``n`` attempts of that circuit (default: every attempt);
-    * ``REPRO_INJECT_SLEEP=<circuit>:<seconds>`` -- stall the job (drives
+    * ``REPRO_INJECT_FAIL=<name>[:<n>]`` -- raise ``RuntimeError`` for
+      the first ``n`` attempts of that job (default: every attempt);
+    * ``REPRO_INJECT_SLEEP=<name>:<seconds>`` -- stall the job (drives
       the timeout path);
-    * ``REPRO_INJECT_EXIT=<circuit>`` -- kill the worker process outright
+    * ``REPRO_INJECT_EXIT=<name>`` -- kill the worker process outright
       (pool workers only; simulates an OOM kill -> ``BrokenProcessPool``).
+
+    ``<name>`` matches either the job's circuit (every shard of it) or
+    its full key (``circuit#shard`` targets one specific shard).
     """
+    names = {job.circuit, job.key}
     spec = os.environ.get("REPRO_INJECT_SLEEP")
     if spec:
         name, _, seconds = spec.partition(":")
-        if job.circuit == name:
+        if name in names:
             time.sleep(float(seconds or 60.0))
     spec = os.environ.get("REPRO_INJECT_EXIT")
-    if spec and in_worker and job.circuit == spec:
+    if spec and in_worker and spec in names:
         os._exit(13)
     spec = os.environ.get("REPRO_INJECT_FAIL")
     if spec:
         name, _, count = spec.partition(":")
-        if job.circuit == name and attempt < (int(count) if count else 1 << 30):
+        if name in names and attempt < (int(count) if count else 1 << 30):
             raise RuntimeError(
-                f"injected failure ({job.circuit}, attempt {attempt})"
+                f"injected failure ({job.key}, attempt {attempt})"
             )
 
 
 def _run_job_guarded(
-    job: CircuitJob, engine: Engine, attempt: int, in_worker: bool
-) -> CircuitJobResult | JobFailure:
+    job: "Job", engine: Engine, attempt: int, in_worker: bool
+) -> "CircuitJobResult | ShardJobResult | JobFailure":
     """Run a job, converting any exception into a :class:`JobFailure`."""
     from ..experiments.tables import run_basic_circuit, run_table6_circuit
 
-    result = CircuitJobResult(circuit=job.circuit)
     phase = "inject"
     try:
         _inject_chaos(job, attempt, in_worker)
+        if isinstance(job, FaultShardJob):
+            phase = "shard"
+            return run_fault_shard_job(job, engine)
+        result = CircuitJobResult(circuit=job.circuit)
         phase = "session"
         session = engine.session(job.circuit)
         if job.run_basic:
@@ -292,12 +325,12 @@ def _run_job_guarded(
             phase = "table6"
             result.table6 = run_table6_circuit(session, job.scale)
     except Exception as exc:
-        return JobFailure.from_exception(job.circuit, phase, exc, attempt)
+        return JobFailure.from_exception(job.key, phase, exc, attempt)
     return result
 
 
 def _effective_budget(
-    budget: Budget | None, timeout: float | None
+    budget: Budget | None, timeout: float | None, job: "Job | None" = None
 ) -> Budget | None:
     """The budget one job attempt runs under: the run budget (its
     *remaining* allowance) tightened to the per-job ``timeout``.
@@ -307,21 +340,32 @@ def _effective_budget(
     unstarted; the executing side calls ``start()`` so the deadline
     anchors on its own clock (monotonic clocks are not portable across
     processes).
+
+    A :class:`~repro.parallel.sharding.FaultShardJob` receives its
+    *share* of the run budget (``Budget.split``): the circuit's shards
+    run concurrently, so shard-local deadlines and abort caps must sum
+    to the global allowance instead of each shard inheriting all of it.
+    Per-fault caps are per-fault and pass through unchanged.
     """
     if budget is not None and budget.is_null:
         budget = None
     if budget is None and timeout is None:
         return None
-    base = budget.forked() if budget is not None else Budget()
+    if budget is None:
+        base = Budget()
+    elif isinstance(job, FaultShardJob):
+        base = budget.split(job.shard_count)[job.shard_index]
+    else:
+        base = budget.forked()
     return base.limited(timeout)
 
 
 def _pool_entry(
-    job: CircuitJob,
+    job: "Job",
     attempt: int,
     budget: Budget | None = None,
     timeout: float | None = None,
-) -> CircuitJobResult | JobFailure:
+) -> "CircuitJobResult | ShardJobResult | JobFailure":
     """Guarded pool-worker entry point: never raises, ships stats back.
 
     A budget (run budget and/or per-job ``timeout``) is applied
@@ -334,7 +378,7 @@ def _pool_entry(
     salvages the partial result.
     """
     engine = Engine()
-    effective = _effective_budget(budget, timeout)
+    effective = _effective_budget(budget, timeout, job)
     previous_handler = None
     if effective is not None:
         effective.start()
@@ -350,7 +394,7 @@ def _pool_entry(
     finally:
         if previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
-    if isinstance(outcome, CircuitJobResult):
+    if not isinstance(outcome, JobFailure):
         outcome.stats = engine.stats
     return outcome
 
@@ -418,10 +462,10 @@ class ParallelRunner:
 
     def run(
         self,
-        jobs: Iterable[CircuitJob],
+        jobs: "Iterable[Job]",
         checkpoint: "RunCheckpoint | None" = None,
-    ) -> list[CircuitJobResult]:
-        """Execute every job; results in submission (circuit) order.
+    ) -> "list[CircuitJobResult | ShardJobResult]":
+        """Execute every job; results in submission (key) order.
 
         With ``checkpoint``, finished results are persisted as they
         complete and jobs whose matching checkpoint already exists are
@@ -430,10 +474,10 @@ class ParallelRunner:
         :class:`ParallelRunError` -- carrying all completed results --
         only after every failed job has exhausted its retries.
         """
-        job_list: Sequence[CircuitJob] = list(jobs)
-        results: dict[str, CircuitJobResult] = {}
+        job_list: "Sequence[Job]" = list(jobs)
+        results: "dict[str, CircuitJobResult | ShardJobResult]" = {}
         failures: list[JobFailure] = []
-        pending: list[CircuitJob] = []
+        pending: "list[Job]" = []
         if self.budget is not None:
             self.budget.start()
         if checkpoint is not None and checkpoint.stats is None:
@@ -441,7 +485,7 @@ class ParallelRunner:
         for job in job_list:
             cached = checkpoint.load(job) if checkpoint is not None else None
             if cached is not None:
-                results[job.circuit] = cached
+                results[job.key] = cached
                 self.engine.stats.count("parallel.resumed")
             else:
                 pending.append(job)
@@ -452,9 +496,9 @@ class ParallelRunner:
             else:
                 self._run_pool(pending, results, failures, checkpoint)
         ordered = [
-            results[job.circuit]
+            results[job.key]
             for job in job_list
-            if job.circuit in results
+            if job.key in results
         ]
         if failures:
             self.engine.stats.count("parallel.failures", len(failures))
@@ -465,21 +509,21 @@ class ParallelRunner:
 
     def _record(
         self,
-        job: CircuitJob,
-        result: CircuitJobResult,
-        results: dict[str, CircuitJobResult],
+        job: "Job",
+        result: "CircuitJobResult | ShardJobResult",
+        results: "dict[str, CircuitJobResult | ShardJobResult]",
         checkpoint: "RunCheckpoint | None",
     ) -> None:
         if result.stats is not None:
             self.engine.stats.merge(result.stats)
-        results[result.circuit] = result
+        results[result.key] = result
         if checkpoint is not None:
             checkpoint.save(result, job)
             self.engine.stats.count("parallel.checkpointed")
 
     def _attempt_serial(
-        self, job: CircuitJob, failures: list[JobFailure]
-    ) -> CircuitJobResult | None:
+        self, job: "Job", failures: list[JobFailure]
+    ) -> "CircuitJobResult | ShardJobResult | None":
         """In-process execution with the retry policy applied.
 
         The per-job cooperative budget applies here too (installed on
@@ -491,7 +535,7 @@ class ParallelRunner:
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self.engine.stats.count("parallel.retries")
-            effective = _effective_budget(self.budget, self.timeout)
+            effective = _effective_budget(self.budget, self.timeout, job)
             if effective is None:
                 outcome = _run_job_guarded(
                     job, self.engine, attempt, in_worker=False
@@ -505,7 +549,7 @@ class ParallelRunner:
                     )
                 finally:
                     self.engine.budget = previous
-            if isinstance(outcome, CircuitJobResult):
+            if not isinstance(outcome, JobFailure):
                 return outcome
             last = outcome
         assert last is not None
@@ -514,8 +558,8 @@ class ParallelRunner:
 
     def _run_serial(
         self,
-        jobs: Sequence[CircuitJob],
-        results: dict[str, CircuitJobResult],
+        jobs: "Sequence[Job]",
+        results: "dict[str, CircuitJobResult | ShardJobResult]",
         failures: list[JobFailure],
         checkpoint: "RunCheckpoint | None",
     ) -> None:
@@ -528,12 +572,12 @@ class ParallelRunner:
 
     def _run_pool(
         self,
-        jobs: Sequence[CircuitJob],
-        results: dict[str, CircuitJobResult],
+        jobs: "Sequence[Job]",
+        results: "dict[str, CircuitJobResult | ShardJobResult]",
         failures: list[JobFailure],
         checkpoint: "RunCheckpoint | None",
     ) -> None:
-        queue: list[tuple[CircuitJob, int]] = [(job, 0) for job in jobs]
+        queue: "list[tuple[Job, int]]" = [(job, 0) for job in jobs]
         while queue:
             failed, timed_out, unfinished, broken = self._pool_round(
                 queue, results, checkpoint
@@ -553,7 +597,7 @@ class ParallelRunner:
                 else:
                     failures.append(
                         JobFailure(
-                            circuit=job.circuit,
+                            circuit=job.key,
                             phase="timeout",
                             error="TimeoutError",
                             message=(
@@ -598,20 +642,20 @@ class ParallelRunner:
 
     def _pool_round(
         self,
-        queue: Sequence[tuple[CircuitJob, int]],
-        results: dict[str, CircuitJobResult],
+        queue: "Sequence[tuple[Job, int]]",
+        results: "dict[str, CircuitJobResult | ShardJobResult]",
         checkpoint: "RunCheckpoint | None",
     ) -> tuple[
-        list[tuple[CircuitJob, int, JobFailure]],
-        list[tuple[CircuitJob, int]],
-        list[tuple[CircuitJob, int]],
+        "list[tuple[Job, int, JobFailure]]",
+        "list[tuple[Job, int]]",
+        "list[tuple[Job, int]]",
         bool,
     ]:
         """One pool pass over ``queue``; completed results are recorded
         (and checkpointed) eagerly, in completion order."""
-        failed: list[tuple[CircuitJob, int, JobFailure]] = []
-        timed_out: list[tuple[CircuitJob, int]] = []
-        unfinished: list[tuple[CircuitJob, int]] = []
+        failed: "list[tuple[Job, int, JobFailure]]" = []
+        timed_out: "list[tuple[Job, int]]" = []
+        unfinished: "list[tuple[Job, int]]" = []
         broken = False
         workers = min(self.jobs, len(queue))
         pool = ProcessPoolExecutor(
@@ -671,7 +715,7 @@ class ParallelRunner:
                                 job,
                                 attempt,
                                 JobFailure.from_exception(
-                                    job.circuit, "pool", exc, attempt
+                                    job.key, "pool", exc, attempt
                                 ),
                             )
                         )

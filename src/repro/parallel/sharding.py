@@ -1,0 +1,407 @@
+"""Intra-circuit fault sharding: partition one circuit's primary-target
+universe across workers and merge deterministically.
+
+The per-circuit fan-out of :mod:`repro.parallel.runner` cannot help a run
+dominated by a single large circuit: one :class:`~repro.parallel.runner.
+CircuitJob` saturates one core no matter what ``--jobs`` says.  This
+module shards *inside* a circuit instead:
+
+* a :class:`FaultShardJob` owns one deterministic slice of the circuit's
+  heuristic-ordered ``P0`` (round-robin plan, see
+  :func:`repro.faults.universe.shard_slice`) plus the sweeps to run on it;
+* each shard worker builds a private
+  :class:`~repro.engine.CircuitSession`, computes a *shard-stable*
+  :class:`~repro.atpg.generator.PrimaryOutcome` for every primary in its
+  slice (per-fault derived RNG, compaction and detection against the full
+  static fault universe -- see
+  :meth:`~repro.atpg.generator.TestGenerator.generate_primary_outcomes`),
+  and ships the outcomes back as universe indices;
+* :func:`merge_shard_results` replays the outcomes in canonical pool
+  order, applying the accidental-detection skip rule exactly once, in one
+  place.  Because every outcome is a pure function of ``(netlist, scale,
+  heuristic, fault, universe)``, the merged tables output is
+  **byte-identical for every shard count and every worker count**: the
+  determinism contract is ``run_all(..., shards=k, jobs=m)`` ==
+  ``run_all(..., shards=1, jobs=1)`` under ``canonical_json`` for all
+  ``k``, ``m``.
+
+The shard-stable procedure intentionally differs from the sequential
+dynamic-compaction run of :meth:`TestGenerator.generate` (whose single
+RNG stream and shrinking alive set couple every primary to all earlier
+ones -- a coupling that cannot be sharded without replaying it serially).
+``run_all`` therefore keeps the legacy path byte-identical whenever
+``shards`` is not requested, and the sharded path is its own, equally
+deterministic, contract.
+
+Consistency guards: every shard reports the same target-set metadata and
+a digest of the fault universe; the merge refuses geometry that does not
+partition the pool exactly (a lost, duplicated or divergent shard can
+never silently skew a table).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..atpg.generator import AtpgConfig, PrimaryOutcome
+from ..engine import Engine
+from ..engine.stats import EngineStats
+from ..faults.universe import FaultRecord, shard_slice
+
+if TYPE_CHECKING:
+    from ..experiments.results import CircuitBasicResult, Table6Row
+    from ..experiments.scale import ExperimentScale
+
+__all__ = [
+    "FaultShardJob",
+    "ShardSweep",
+    "ShardJobResult",
+    "run_fault_shard_job",
+    "merge_shard_results",
+    "universe_digest",
+]
+
+
+@dataclass(frozen=True)
+class FaultShardJob:
+    """One shard of one circuit's primary-fault universe (one pool task).
+
+    ``shard_index``/``shard_count`` fix the round-robin slice;
+    ``min_faults`` is the per-shard floor below which the plan collapses
+    to fewer shards (see :func:`repro.faults.universe.
+    effective_shard_count`).  The sweep flags mirror
+    :class:`~repro.parallel.runner.CircuitJob`.
+    """
+
+    circuit: str
+    scale: "ExperimentScale"
+    shard_index: int
+    shard_count: int
+    heuristics: tuple[str, ...] = ()
+    run_basic: bool = False
+    run_table6: bool = False
+    min_faults: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), "
+                f"got {self.shard_index}"
+            )
+        if self.min_faults < 1:
+            raise ValueError(f"min_faults must be >= 1, got {self.min_faults}")
+
+    @property
+    def key(self) -> str:
+        """Runner/checkpoint identity: ``<circuit>#<shard_index>``."""
+        return f"{self.circuit}#{self.shard_index}"
+
+
+@dataclass
+class ShardSweep:
+    """One sweep's outcomes on one shard (a heuristic run, or enrichment)."""
+
+    outcomes: list[PrimaryOutcome] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "outcomes": [outcome.to_payload() for outcome in self.outcomes],
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardSweep":
+        return cls(
+            outcomes=[
+                PrimaryOutcome.from_payload(row) for row in payload["outcomes"]
+            ],
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+@dataclass
+class ShardJobResult:
+    """One shard's outcomes, shipped back from a worker.
+
+    ``meta`` carries the target-set quantities every shard must agree on
+    (``i0``, ``p0_total``, ``p01_total``) plus ``universe`` -- a digest
+    of the full fault universe's identities -- so the merge can prove the
+    shards computed against the same world before trusting their
+    universe-index references.
+    """
+
+    circuit: str
+    shard_index: int
+    shard_count: int
+    meta: dict = field(default_factory=dict)
+    basic: dict[str, ShardSweep] = field(default_factory=dict)
+    table6: ShardSweep | None = None
+    stats: EngineStats | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return f"{self.circuit}#{self.shard_index}"
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (see :meth:`from_payload`; used by checkpoints)."""
+        return {
+            "circuit": self.circuit,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "meta": self.meta,
+            "basic": {
+                heuristic: sweep.to_payload()
+                for heuristic, sweep in self.basic.items()
+            },
+            "table6": self.table6.to_payload() if self.table6 else None,
+            "stats": self.stats.snapshot() if self.stats is not None else None,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardJobResult":
+        table6 = payload.get("table6")
+        stats = payload.get("stats")
+        return cls(
+            circuit=payload["circuit"],
+            shard_index=int(payload["shard_index"]),
+            shard_count=int(payload["shard_count"]),
+            meta=dict(payload["meta"]),
+            basic={
+                heuristic: ShardSweep.from_payload(sweep)
+                for heuristic, sweep in (payload.get("basic") or {}).items()
+            },
+            table6=ShardSweep.from_payload(table6) if table6 else None,
+            stats=EngineStats.from_snapshot(stats) if stats else None,
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+        )
+
+
+def universe_digest(records: Sequence[FaultRecord]) -> str:
+    """Stable digest of an ordered fault universe's identities."""
+    digest = hashlib.blake2b(digest_size=8)
+    for record in records:
+        digest.update(repr(record.fault.key()).encode())
+    return digest.hexdigest()
+
+
+def run_fault_shard_job(job: FaultShardJob, engine: Engine) -> ShardJobResult:
+    """Run one shard's sweeps on ``engine`` (worker and in-process body).
+
+    The shard builds (or reuses, in-process) the circuit session and full
+    target sets -- target-set construction is not sharded; it is cheap
+    relative to generation and every shard needs the complete universe
+    for secondary/accidental detection anyway -- then computes shard-
+    stable outcomes for its slice of each requested sweep.  The shard's
+    wall clock is recorded under the max-semantics ``shard.wall`` stat,
+    so the merged parent reports the critical path, not the sum.
+    """
+    from .runner import effective_heuristics
+
+    started = time.perf_counter()
+    session = engine.session(job.circuit)
+    scale = job.scale
+    targets = session.target_sets(
+        max_faults=scale.max_faults,
+        p0_min_faults=scale.p0_min_faults,
+    )
+    n_primaries = len(targets.p0)
+    indices = shard_slice(
+        n_primaries, job.shard_index, job.shard_count, job.min_faults
+    )
+    result = ShardJobResult(
+        circuit=job.circuit,
+        shard_index=job.shard_index,
+        shard_count=job.shard_count,
+        meta={
+            "i0": targets.i0,
+            "p0_total": n_primaries,
+            "p01_total": len(targets.all_records),
+            "universe": universe_digest(targets.all_records),
+        },
+    )
+    if job.run_basic:
+        for heuristic in effective_heuristics(job):
+            config = AtpgConfig(
+                heuristic=heuristic,
+                seed=scale.seed,
+                max_secondary_attempts=scale.max_secondary_attempts,
+            )
+            sweep_started = time.perf_counter()
+            outcomes = session.generate_shard_outcomes(
+                targets, config, indices, kind="basic"
+            )
+            result.basic[heuristic] = ShardSweep(
+                outcomes=outcomes,
+                seconds=time.perf_counter() - sweep_started,
+            )
+    if job.run_table6:
+        config = AtpgConfig(
+            heuristic="values",
+            seed=scale.seed,
+            max_secondary_attempts=scale.max_secondary_attempts,
+        )
+        sweep_started = time.perf_counter()
+        outcomes = session.generate_shard_outcomes(
+            targets, config, indices, kind="enrich"
+        )
+        result.table6 = ShardSweep(
+            outcomes=outcomes, seconds=time.perf_counter() - sweep_started
+        )
+    result.wall_seconds = time.perf_counter() - started
+    engine.stats.max_time("shard.wall", result.wall_seconds)
+    return result
+
+
+@dataclass
+class _MergedSweep:
+    """Internal accumulator of one sweep's deterministic merge."""
+
+    tests: int = 0
+    detected_p0: int = 0
+    detected_p01: int = 0
+    aborted: int = 0
+    aborted_rows: list = field(default_factory=list)
+    seconds: float = 0.0
+
+
+def _merge_sweep(sweeps: Sequence[ShardSweep], p0_total: int) -> _MergedSweep:
+    """Replay per-primary outcomes in canonical pool order.
+
+    This is the whole determinism story of the merge: outcomes are sorted
+    by ordered-pool index (they must partition ``range(p0_total)``
+    exactly), and a single ``dead`` set of universe indices replays the
+    accidental-detection rule -- a primary already detected by an earlier
+    accepted test contributes nothing (its precomputed test is discarded,
+    and an abort verdict for it is moot), otherwise a found test is
+    accepted and its detections join ``dead``.  ``P0`` membership is by
+    construction ``uid < p0_total`` (the universe is ``P0 + P1``).
+    """
+    all_outcomes = sorted(
+        (outcome for sweep in sweeps for outcome in sweep.outcomes),
+        key=lambda outcome: outcome.index,
+    )
+    if [outcome.index for outcome in all_outcomes] != list(range(p0_total)):
+        raise ValueError(
+            "shard merge: primary indices do not partition the pool "
+            f"(got {len(all_outcomes)} outcomes for |P0|={p0_total})"
+        )
+    merged = _MergedSweep(seconds=sum(sweep.seconds for sweep in sweeps))
+    dead: set[int] = set()
+    for outcome in all_outcomes:
+        if outcome.uid in dead:
+            continue
+        if outcome.status == "found":
+            merged.tests += 1
+            dead.update(outcome.detected)
+        elif outcome.status == "aborted":
+            merged.aborted += 1
+            merged.aborted_rows.append(
+                [outcome.fault, 0, outcome.reason, outcome.phase]
+            )
+    merged.detected_p0 = sum(1 for uid in dead if uid < p0_total)
+    merged.detected_p01 = len(dead)
+    return merged
+
+
+def merge_shard_results(
+    results: Sequence[ShardJobResult],
+) -> "tuple[CircuitBasicResult | None, Table6Row | None]":
+    """Merge one circuit's shard results into its table rows.
+
+    Shards are validated before anything is trusted: same circuit, same
+    geometry, identical target-set metadata (including the fault-universe
+    digest), identical sweep sets, and per-sweep outcome indices that
+    partition ``P0`` exactly.  Wall-clock fields are the sum of the
+    shards' sweep clocks (the serial-equivalent cost, mirroring what the
+    legacy runtime column measures); all deterministic fields depend only
+    on the outcomes, never on the geometry.
+    """
+    from ..experiments.results import (
+        CircuitBasicResult,
+        HeuristicOutcome,
+        Table6Row,
+    )
+
+    if not results:
+        raise ValueError("merge_shard_results: no shard results")
+    ordered = sorted(results, key=lambda result: result.shard_index)
+    first = ordered[0]
+    for result in ordered[1:]:
+        if result.circuit != first.circuit:
+            raise ValueError(
+                f"shard merge: mixed circuits {first.circuit!r} / "
+                f"{result.circuit!r}"
+            )
+        if result.shard_count != first.shard_count:
+            raise ValueError(
+                f"shard merge ({first.circuit}): inconsistent shard_count "
+                f"{first.shard_count} / {result.shard_count}"
+            )
+        if result.meta != first.meta:
+            raise ValueError(
+                f"shard merge ({first.circuit}): shards disagree on target-set "
+                f"metadata ({first.meta} vs {result.meta})"
+            )
+        if sorted(result.basic) != sorted(first.basic) or bool(
+            result.table6
+        ) != bool(first.table6):
+            raise ValueError(
+                f"shard merge ({first.circuit}): shards ran different sweeps"
+            )
+    indices = sorted(result.shard_index for result in ordered)
+    if indices != list(range(first.shard_count)):
+        raise ValueError(
+            f"shard merge ({first.circuit}): expected shards "
+            f"0..{first.shard_count - 1}, got {indices}"
+        )
+    p0_total = first.meta["p0_total"]
+    p01_total = first.meta["p01_total"]
+    i0 = first.meta["i0"]
+
+    basic: "CircuitBasicResult | None" = None
+    if first.basic:
+        basic = CircuitBasicResult(
+            circuit=first.circuit,
+            i0=i0,
+            p0_total=p0_total,
+            p01_total=p01_total,
+        )
+        for heuristic in first.basic:
+            merged = _merge_sweep(
+                [result.basic[heuristic] for result in ordered], p0_total
+            )
+            basic.outcomes[heuristic] = HeuristicOutcome(
+                detected_p0=merged.detected_p0,
+                tests=merged.tests,
+                detected_p01=merged.detected_p01,
+                runtime_seconds=merged.seconds,
+                aborted=merged.aborted,
+            )
+
+    table6: "Table6Row | None" = None
+    if first.table6 is not None:
+        merged = _merge_sweep(
+            [result.table6 for result in ordered if result.table6 is not None],
+            p0_total,
+        )
+        table6 = Table6Row(
+            circuit=first.circuit,
+            i0=i0,
+            p0_total=p0_total,
+            p0_detected=merged.detected_p0,
+            p01_total=p01_total,
+            p01_detected=merged.detected_p01,
+            tests=merged.tests,
+            runtime_seconds=merged.seconds,
+            aborted=merged.aborted,
+            aborted_faults=merged.aborted_rows,
+        )
+    return basic, table6

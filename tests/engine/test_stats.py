@@ -60,7 +60,11 @@ class TestReporting:
         stats.count("a")
         stats.add_time("t", 0.25)
         snap = stats.snapshot()
-        assert snap == {"counters": {"a": 1, "b": 1}, "timers": {"t": 0.25}}
+        assert snap == {
+            "counters": {"a": 1, "b": 1},
+            "timers": {"t": 0.25},
+            "origin": stats.origin,
+        }
         assert list(snap["counters"]) == ["a", "b"]
 
     def test_from_snapshot_roundtrip(self):
@@ -68,18 +72,29 @@ class TestReporting:
         stats.count("parallel.jobs", 3)
         stats.count("justify.calls", 7)
         stats.add_time("session", 1.25)
+        stats.max_time("shard.wall", 2.0)
         rebuilt = EngineStats.from_snapshot(stats.snapshot())
         assert rebuilt.snapshot() == stats.snapshot()
+        assert rebuilt.origin == stats.origin
         # the rebuilt object is live, not a frozen view
         rebuilt.count("parallel.jobs")
         assert rebuilt.counter("parallel.jobs") == 4
 
     def test_from_snapshot_empty(self):
         rebuilt = EngineStats.from_snapshot({})
-        assert rebuilt.snapshot() == {"counters": {}, "timers": {}}
+        snap = rebuilt.snapshot()
+        assert snap["counters"] == {}
+        assert snap["timers"] == {}
+        assert "maxima" not in snap
 
     def test_format_empty(self):
         assert "no activity" in EngineStats().format()
+
+    def test_format_lists_maxima(self):
+        stats = EngineStats()
+        stats.max_time("shard.wall", 1.5)
+        assert "maxima (s):" in stats.format()
+        assert "shard.wall" in stats.format()
 
     def test_format_lists_counters_and_timers(self):
         stats = EngineStats()
@@ -88,3 +103,92 @@ class TestReporting:
         text = stats.format()
         assert "enumerate.miss" in text
         assert "timers (s):" in text
+
+
+class TestMaxTimers:
+    def test_max_time_keeps_largest(self):
+        stats = EngineStats()
+        stats.max_time("shard.wall", 1.0)
+        stats.max_time("shard.wall", 3.0)
+        stats.max_time("shard.wall", 2.0)
+        assert stats.maxima["shard.wall"] == 3.0
+
+    def test_merge_takes_max_not_sum(self):
+        parent, worker = EngineStats(), EngineStats()
+        parent.max_time("shard.wall", 2.0)
+        worker.max_time("shard.wall", 1.0)
+        worker.max_time("shard.other", 4.0)
+        parent.merge(worker)
+        assert parent.maxima["shard.wall"] == 2.0
+        assert parent.maxima["shard.other"] == 4.0
+
+
+class TestMergeIdempotency:
+    """Regression: folding worker snapshots must never double-count.
+
+    The parallel runner folds every worker result's stats into the parent
+    engine; a seam that re-folds a snapshot (e.g. on retry bookkeeping or
+    a checkpoint reload) must be a no-op for counters, sum-semantics
+    timers and max-semantics timers alike.
+    """
+
+    @staticmethod
+    def _worker(n):
+        worker = EngineStats()
+        worker.count("justify.calls", 10 * n)
+        worker.add_time("generate", 0.5 * n)
+        worker.max_time("shard.wall", float(n))
+        return worker
+
+    def test_refolding_workers_is_idempotent(self):
+        parent = EngineStats()
+        workers = [self._worker(n) for n in (1, 2, 3)]
+        for worker in workers:
+            parent.merge(worker)
+        reference = parent.snapshot()
+        for worker in workers:  # second fold of the same objects
+            parent.merge(worker)
+        assert parent.snapshot() == reference
+        assert parent.counter("justify.calls") == 60
+        assert parent.maxima["shard.wall"] == 3.0
+
+    def test_refolding_snapshot_roundtrips_is_idempotent(self):
+        parent = EngineStats()
+        workers = [self._worker(n) for n in (1, 2)]
+        for worker in workers:
+            parent.merge(EngineStats.from_snapshot(worker.snapshot()))
+        reference = parent.snapshot()
+        for worker in workers:  # snapshots carry the origin token
+            parent.merge(EngineStats.from_snapshot(worker.snapshot()))
+        assert parent.snapshot() == reference
+
+    def test_merging_the_merged_snapshot_back_is_noop(self):
+        parent = EngineStats()
+        for worker in (self._worker(1), self._worker(2)):
+            parent.merge(worker)
+        reference = parent.snapshot()
+        parent.merge(EngineStats.from_snapshot(parent.snapshot()))
+        assert parent.snapshot() == reference
+
+    def test_self_merge_is_noop(self):
+        stats = EngineStats()
+        stats.count("x", 2)
+        stats.merge(stats)
+        assert stats.counter("x") == 2
+
+    def test_transitively_merged_origins_are_deduplicated(self):
+        # parent <- mid <- leaf, then parent <- leaf directly: the leaf's
+        # events must land exactly once.
+        leaf = self._worker(1)
+        mid = EngineStats()
+        mid.merge(leaf)
+        parent = EngineStats()
+        parent.merge(mid)
+        parent.merge(leaf)
+        assert parent.counter("justify.calls") == 10
+
+    def test_distinct_objects_still_accumulate(self):
+        parent = EngineStats()
+        parent.merge(self._worker(1))
+        parent.merge(self._worker(1))  # same shape, different origin
+        assert parent.counter("justify.calls") == 20

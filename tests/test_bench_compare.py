@@ -1,0 +1,42 @@
+"""Unit tests for the benchmark comparison gate (tools/bench_compare.py)."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+def _run(base, cur, max_regression=0.25):
+    return bench_compare.compare(
+        {"results": cur}, {"results": base}, max_regression
+    )
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        assert _run({"a": 1.0}, {"a": 1.2}) == []
+
+    def test_regression_fails_with_detail(self):
+        failures = _run({"a": 1.0}, {"a": 2.0})
+        assert len(failures) == 1
+        assert "a" in failures[0] and "2.00x" in failures[0]
+
+    def test_missing_baseline_entry_warns_but_passes(self, capsys):
+        """A baseline key the current run did not produce (a retired or
+        not-run benchmark) must be skipped, not treated as a failure."""
+        failures = _run({"a": 1.0, "gone": 0.5}, {"a": 1.0})
+        assert failures == []
+        out = capsys.readouterr().out
+        assert "gone" in out and "missing from current run" in out
+
+    def test_extra_current_entry_ignored(self):
+        assert _run({"a": 1.0}, {"a": 1.0, "new": 9.0}) == []
+
+    def test_zero_baseline_counts_as_regression(self):
+        assert len(_run({"a": 0.0}, {"a": 0.1})) == 1
