@@ -8,16 +8,24 @@ Subcommands:
 * ``atpg``      -- basic test generation (Section 2) for P0.
 * ``enrich``    -- test enrichment with P0 and P1 (Section 3).
 * ``tables``    -- regenerate the paper's Tables 1-7.
+* ``journal``   -- the persistent run journal: ``report`` renders
+  per-sha trend tables, ``gate`` flags regressions against the
+  trajectory, ``validate`` schema-checks the JSONL file.
 
 One :class:`repro.engine.Engine` backs each invocation, so every stage of a
 subcommand (and every circuit of a ``tables`` sweep) shares the per-circuit
 artifact caches; ``--stats`` prints its counters and timers to stderr.
+``tables --journal PATH`` additionally appends a structured record of the
+run (sha, machine, config, per-circuit runtimes, abort taxonomy, cache hit
+rates, per-shard job records) to the journal -- after the results are
+written, so journaling can never perturb the experiment output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .api import basic_atpg_circuit, enrich_circuit
@@ -198,11 +206,34 @@ def _cmd_enrich(args, engine: Engine) -> int:
     return 0
 
 
+def _journal_tables_config(args, scale) -> dict:
+    """The run parameters a ``tables`` journal entry records."""
+    budget = _build_budget(args)
+    return {
+        "scale": scale.name,
+        "max_faults": scale.max_faults,
+        "p0_min_faults": scale.p0_min_faults,
+        "quick": bool(args.quick),
+        "jobs": args.jobs,
+        "shards": args.shards,
+        "shard_min_faults": args.shard_min_faults,
+        "resume": bool(args.resume),
+        "budget": budget.spec() if budget is not None else None,
+    }
+
+
 def _cmd_tables(args, engine: Engine) -> int:
+    started = time.perf_counter()
     if args.from_json:
         from .experiments import ExperimentResults
 
         results = ExperimentResults.from_json(Path(args.from_json).read_text())
+        if args.journal:
+            print(
+                "journal: --from-json renders cached results; nothing was "
+                "measured, so no entry is appended",
+                file=sys.stderr,
+            )
     else:
         from .experiments import ExperimentScale, get_scale
 
@@ -263,7 +294,86 @@ def _cmd_tables(args, engine: Engine) -> int:
         Path(args.out).write_text(results.to_json())
         print(f"wrote {args.out}", file=sys.stderr)
     print(results.format_all())
+    if args.journal and not args.from_json:
+        from .journal import append_entry, tables_entry
+
+        append_entry(
+            args.journal,
+            tables_entry(
+                results,
+                engine.stats,
+                wall_seconds=time.perf_counter() - started,
+                config=_journal_tables_config(args, scale),
+                jobs=engine.job_records,
+            ),
+        )
+        print(f"journal: appended tables entry to {args.journal}", file=sys.stderr)
     return 0
+
+
+def _warn_journal_problems(read) -> None:
+    for problem in read.problems:
+        print(f"journal {read.path}: {problem.describe()}", file=sys.stderr)
+
+
+def _cmd_journal_report(args, _engine: Engine) -> int:
+    from .journal import read_journal, render_report
+
+    read = read_journal(args.journal)
+    _warn_journal_problems(read)
+    text = render_report(
+        read.entries,
+        kinds=[args.kind] if args.kind else None,
+        last=args.last,
+    )
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(text)
+    return 0
+
+
+def _cmd_journal_gate(args, _engine: Engine) -> int:
+    from .journal import gate_trajectory, read_journal
+
+    read = read_journal(args.journal)
+    if not read.path.exists():
+        print(f"journal {read.path} not found", file=sys.stderr)
+        return 1
+    _warn_journal_problems(read)
+    report = gate_trajectory(
+        read.entries,
+        kinds=[args.kind] if args.kind else None,
+        window=args.window,
+        tolerance=args.tolerance,
+        min_history=args.min_history,
+        gate_all=args.all,
+    )
+    print(report.format())
+    if not report.ok:
+        print(
+            f"journal gate: {len(report.regressions)} trajectory "
+            f"regression(s) in {read.path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_journal_validate(args, _engine: Engine) -> int:
+    from .journal import read_journal
+
+    read = read_journal(args.journal)
+    if not read.path.exists():
+        print(f"journal {read.path} not found", file=sys.stderr)
+        return 1
+    _warn_journal_problems(read)
+    print(
+        f"{read.path}: {len(read.entries)} valid entr"
+        f"{'y' if len(read.entries) == 1 else 'ies'}, "
+        f"{len(read.problems)} problem line(s)"
+    )
+    return 1 if read.problems else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -440,8 +550,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-circuit wall-clock budget on the pool path "
         "(default: unlimited)",
     )
+    p_tables.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append a structured run record (sha, machine, config, "
+        "per-circuit runtimes, abort taxonomy, cache hit rates) to this "
+        "JSONL run journal after the run; experiment output is "
+        "unaffected",
+    )
     add_budget_args(p_tables)
     p_tables.set_defaults(func=_cmd_tables)
+
+    p_journal = sub.add_parser(
+        "journal", help="persistent run journal: report / gate / validate"
+    )
+    jsub = p_journal.add_subparsers(dest="journal_command", required=True)
+
+    def add_journal_path(p):
+        p.add_argument(
+            "--journal",
+            metavar="PATH",
+            default="benchmarks/journal.jsonl",
+            help="JSONL run journal (default: benchmarks/journal.jsonl)",
+        )
+
+    def add_journal_args(p):
+        add_journal_path(p)
+        p.add_argument(
+            "--kind",
+            choices=("tables", "bench"),
+            default=None,
+            help="restrict to one entry kind (default: all kinds)",
+        )
+
+    p_jreport = jsub.add_parser(
+        "report", help="render per-sha trend tables of the recorded metrics"
+    )
+    add_journal_args(p_jreport)
+    p_jreport.add_argument(
+        "--last",
+        type=_positive_int_arg,
+        default=8,
+        metavar="N",
+        help="newest runs shown per kind (default 8)",
+    )
+    p_jreport.add_argument("--out", metavar="PATH", help="also write the report here")
+    p_jreport.set_defaults(func=_cmd_journal_report)
+
+    p_jgate = jsub.add_parser(
+        "gate",
+        help="fail when a metric regressed against its trajectory "
+        "(median of the last N recorded values, tolerance band)",
+    )
+    add_journal_args(p_jgate)
+    p_jgate.add_argument(
+        "--window",
+        type=_positive_int_arg,
+        default=5,
+        metavar="N",
+        help="history window per metric: median of the last N prior "
+        "values is the reference (default 5)",
+    )
+    p_jgate.add_argument(
+        "--tolerance",
+        type=_positive_float_arg,
+        default=0.25,
+        metavar="T",
+        help="allowed slowdown over the reference median before failing "
+        "(default 0.25 = 25%%)",
+    )
+    p_jgate.add_argument(
+        "--min-history",
+        type=_positive_int_arg,
+        default=1,
+        metavar="N",
+        help="prior values a metric needs before it is gated; younger "
+        "series are reported as skipped (default 1)",
+    )
+    p_jgate.add_argument(
+        "--all",
+        action="store_true",
+        help="gate every entry against its own past instead of only the "
+        "newest one (validates a whole committed trajectory)",
+    )
+    p_jgate.set_defaults(func=_cmd_journal_gate)
+
+    p_jvalidate = jsub.add_parser(
+        "validate", help="schema-check every line of the journal file"
+    )
+    add_journal_path(p_jvalidate)
+    p_jvalidate.set_defaults(func=_cmd_journal_validate)
     return parser
 
 

@@ -275,6 +275,11 @@ class Engine:
         engine built earlier)."""
         self.stats = stats if stats is not None else EngineStats()
         self.budget = budget
+        #: Per-job completion records appended by the parallel runner
+        #: (key, kind, wall seconds; resumed checkpoints are flagged).
+        #: The run journal embeds them so a sweep's per-shard cost
+        #: breakdown survives alongside its aggregate numbers.
+        self.job_records: list[dict] = []
         self._by_name: dict[str, CircuitSession] = {}
         self._by_identity: dict[int, CircuitSession] = {}
 

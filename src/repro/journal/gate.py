@@ -1,0 +1,215 @@
+"""Trajectory regression gating.
+
+``tools/bench_compare.py`` gates each run against *one* hand-committed
+baseline file; this module gates against the journal's whole history
+instead.  For every metric series the candidate value is compared to
+the **median of the last ``window`` recorded values** of the same kind:
+a candidate more than ``tolerance`` slower than that median is a
+regression.  The median makes the reference robust to one lucky or
+unlucky historical run, and the moving window lets the reference follow
+deliberate performance changes instead of pinning the repo to its
+fastest-ever day.
+
+Two gating modes:
+
+* *latest* (default) -- gate the newest entry of each kind against the
+  entries recorded before it.  This is what CI runs right after
+  appending a fresh measurement.
+* *all* (``gate_trajectory(..., gate_all=True)``) -- replay the gate
+  over every entry in order, each judged only against its own past.
+  This validates a committed journal end to end: a regression anyone
+  slipped into the history is found no matter how many entries were
+  appended since.
+
+Metrics with fewer than ``min_history`` prior values are ``skipped``
+(reported, never failed): a brand-new benchmark cannot regress against
+a history it does not have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Mapping, Sequence
+
+__all__ = ["GateFinding", "GateReport", "gate_candidate", "gate_trajectory"]
+
+#: Defaults shared by the CLI and ``bench_compare --journal-gate``.
+DEFAULT_WINDOW = 5
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_HISTORY = 1
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One metric's verdict against its trajectory."""
+
+    kind: str
+    metric: str
+    value: float
+    verdict: str  # "ok" | "regression" | "skipped"
+    baseline: float | None = None  # median of the window, when gated
+    ratio: float | None = None
+    history: int = 0  # prior values available
+    sha: str = ""  # candidate entry's sha ("" for external candidates)
+
+    def describe(self) -> str:
+        where = f" @ {self.sha[:7]}" if self.sha and self.sha != "unknown" else ""
+        if self.verdict == "skipped":
+            return (
+                f"{self.kind}/{self.metric}{where}: skipped "
+                f"({self.history} prior value(s); gate needs more history)"
+            )
+        assert self.baseline is not None and self.ratio is not None
+        return (
+            f"{self.kind}/{self.metric}{where}: {self.value:.4g} vs "
+            f"median-of-{self.history} {self.baseline:.4g} "
+            f"({self.ratio:.2f}x) {self.verdict.upper()}"
+        )
+
+
+@dataclass
+class GateReport:
+    """Every finding of one gate invocation."""
+
+    findings: list[GateFinding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[GateFinding]:
+        return [f for f in self.findings if f.verdict == "regression"]
+
+    @property
+    def gated(self) -> int:
+        return sum(1 for f in self.findings if f.verdict != "skipped")
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [finding.describe() for finding in self.findings]
+        skipped = len(self.findings) - self.gated
+        lines.append(
+            f"trajectory gate: {self.gated} metric(s) gated, "
+            f"{skipped} skipped, {len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def _gate_metrics(
+    kind: str,
+    metrics: Mapping[str, float],
+    history_entries: Sequence[dict],
+    *,
+    window: int,
+    tolerance: float,
+    min_history: int,
+    sha: str = "",
+) -> list[GateFinding]:
+    findings = []
+    for name in sorted(metrics):
+        value = float(metrics[name])
+        series = [
+            float(entry["metrics"][name])
+            for entry in history_entries
+            if name in entry.get("metrics", {})
+        ][-window:]
+        if len(series) < min_history:
+            findings.append(
+                GateFinding(
+                    kind=kind,
+                    metric=name,
+                    value=value,
+                    verdict="skipped",
+                    history=len(series),
+                    sha=sha,
+                )
+            )
+            continue
+        baseline = median(series)
+        if baseline > 0:
+            ratio = value / baseline
+        else:
+            # A zero-cost historical median cannot be "slowed down"
+            # meaningfully unless the candidate now costs something.
+            ratio = float("inf") if value > 0 else 1.0
+        verdict = "regression" if ratio > 1.0 + tolerance else "ok"
+        findings.append(
+            GateFinding(
+                kind=kind,
+                metric=name,
+                value=value,
+                verdict=verdict,
+                baseline=baseline,
+                ratio=ratio,
+                history=len(series),
+                sha=sha,
+            )
+        )
+    return findings
+
+
+def gate_candidate(
+    entries: Sequence[dict],
+    kind: str,
+    metrics: Mapping[str, float],
+    *,
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> GateReport:
+    """Gate not-yet-recorded ``metrics`` against the journal's history.
+
+    This is the pre-append hook ``bench_compare --journal-gate`` uses:
+    the fresh measurement is judged before it joins the trajectory (it
+    is appended afterwards either way -- a regression is still a fact
+    worth recording; the exit code is what blocks the merge).
+    """
+    history = [entry for entry in entries if entry.get("kind") == kind]
+    return GateReport(
+        _gate_metrics(
+            kind,
+            metrics,
+            history,
+            window=window,
+            tolerance=tolerance,
+            min_history=min_history,
+        )
+    )
+
+
+def gate_trajectory(
+    entries: Sequence[dict],
+    *,
+    kinds: Sequence[str] | None = None,
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_history: int = DEFAULT_MIN_HISTORY,
+    gate_all: bool = False,
+) -> GateReport:
+    """Gate recorded entries against their own past (see module docs)."""
+    report = GateReport()
+    order: dict[str, None] = {}
+    for entry in entries:
+        order.setdefault(entry["kind"], None)
+    for kind in order:
+        if kinds is not None and kind not in kinds:
+            continue
+        of_kind = [entry for entry in entries if entry["kind"] == kind]
+        positions = range(1, len(of_kind)) if gate_all else [len(of_kind) - 1]
+        for position in positions:
+            if position < 0:
+                continue
+            candidate = of_kind[position]
+            report.findings.extend(
+                _gate_metrics(
+                    kind,
+                    candidate.get("metrics", {}),
+                    of_kind[:position],
+                    window=window,
+                    tolerance=tolerance,
+                    min_history=min_history,
+                    sha=candidate.get("sha", ""),
+                )
+            )
+    return report

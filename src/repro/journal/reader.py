@@ -1,0 +1,90 @@
+"""Reading a journal back, tolerantly.
+
+A journal accumulates across many runs, machines and code versions, so
+the reader must survive what reality does to append-only files: a
+truncated final line after a crash, a hand-edit gone wrong, an entry
+written by a newer schema.  :func:`read_journal` therefore never raises
+on content -- every undecodable or schema-invalid line becomes a
+:class:`JournalProblem` (line number + reason) and reading continues;
+``repro-pdf journal validate`` turns those problems into a non-zero
+exit for CI, where the committed journal must be pristine.
+
+Entries are yielded in file order, which *is* trajectory order: the
+journal is append-only, so line order is recording order even when
+clock skew between machines makes timestamps lie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .schema import validate_entry
+
+__all__ = ["JournalProblem", "JournalRead", "read_journal"]
+
+
+@dataclass(frozen=True)
+class JournalProblem:
+    """One unusable journal line."""
+
+    line: int
+    reason: str
+
+    def describe(self) -> str:
+        return f"line {self.line}: {self.reason}"
+
+
+@dataclass
+class JournalRead:
+    """Outcome of reading one journal file."""
+
+    path: Path
+    entries: list[dict] = field(default_factory=list)
+    problems: list[JournalProblem] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """The entries of one producer, in trajectory order."""
+        return [entry for entry in self.entries if entry.get("kind") == kind]
+
+    @property
+    def kinds(self) -> list[str]:
+        """Distinct entry kinds, in first-seen order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry["kind"], None)
+        return list(seen)
+
+
+def read_journal(path: str | Path) -> JournalRead:
+    """Parse the journal at ``path`` (missing file = empty journal).
+
+    Blank lines are ignored silently (not recorded as problems): they
+    are a side effect of hand-editing, not data loss.
+    """
+    path = Path(path)
+    read = JournalRead(path=path)
+    if not path.exists():
+        return read
+    import json
+
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                read.problems.append(
+                    JournalProblem(lineno, f"not valid JSON ({exc.msg})")
+                )
+                continue
+            schema_problems = validate_entry(entry)
+            if schema_problems:
+                read.problems.append(
+                    JournalProblem(lineno, "; ".join(schema_problems))
+                )
+                continue
+            read.entries.append(entry)
+    return read

@@ -1,0 +1,95 @@
+"""Rendering a journal as per-sha trend tables.
+
+One table per entry kind: rows are metric series, columns are the last
+``last`` recorded runs (newest rightmost), labelled by short sha with
+the recording date underneath.  A ``-`` cell means the run did not
+produce that metric -- retired benchmarks and newly added circuits
+coexist in one table instead of fragmenting the history.
+
+This is the longitudinal view the paper's own evaluation implies:
+Tables 5-7 of Pomeranz & Reddy (2002) are only meaningful as trends
+across circuits, and the repo's performance story is only meaningful as
+trends across commits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_value", "report_rows", "render_report"]
+
+
+def format_value(value: float) -> str:
+    """Compact numeric cell: 4 significant digits."""
+    return f"{value:.4g}"
+
+
+def _column_label(entry: dict) -> str:
+    sha = entry.get("sha", "unknown")
+    return sha[:7] if sha != "unknown" else "unknown"
+
+
+def report_rows(
+    entries: Sequence[dict], last: int = 8
+) -> tuple[list[str], list[list[str]]]:
+    """Headers and row data for the trend table of one kind's entries.
+
+    Returns ``(headers, rows)`` where ``headers`` is
+    ``["metric", <short-sha>, ...]`` (oldest first) and each row is the
+    metric name followed by one formatted cell per shown entry.
+    """
+    shown = list(entries)[-last:] if last > 0 else list(entries)
+    headers = ["metric"] + [_column_label(entry) for entry in shown]
+    names: dict[str, None] = {}
+    for entry in shown:
+        for name in entry.get("metrics", {}):
+            names.setdefault(name, None)
+    rows = []
+    for name in sorted(names):
+        cells = [name]
+        for entry in shown:
+            value = entry.get("metrics", {}).get(name)
+            cells.append("-" if value is None else format_value(value))
+        rows.append(cells)
+    return headers, rows
+
+
+def _render_table(headers: list[str], rows: list[list[str]], dates: list[str]) -> str:
+    table = [headers, dates, *rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+
+    def line(cells: Sequence[str]) -> str:
+        out = [f"{cells[0]:<{widths[0]}}"]
+        out += [f"{cell:>{widths[col + 1]}}" for col, cell in enumerate(cells[1:])]
+        return "  " + "  ".join(out).rstrip()
+
+    return "\n".join(line(row) for row in table)
+
+
+def render_report(
+    entries: Sequence[dict],
+    *,
+    kinds: Sequence[str] | None = None,
+    last: int = 8,
+) -> str:
+    """The full journal report: one trend table per entry kind."""
+    order: dict[str, None] = {}
+    for entry in entries:
+        order.setdefault(entry["kind"], None)
+    selected = [k for k in order if kinds is None or k in kinds]
+    if not selected:
+        return "run journal: no entries"
+    sections = []
+    for kind in selected:
+        of_kind = [entry for entry in entries if entry["kind"] == kind]
+        shown = of_kind[-last:] if last > 0 else of_kind
+        headers, rows = report_rows(of_kind, last=last)
+        dates = [""] + [entry.get("ts", "")[:10] for entry in shown]
+        title = (
+            f"run journal -- kind {kind}: {len(of_kind)} entr"
+            f"{'y' if len(of_kind) == 1 else 'ies'}"
+        )
+        if len(of_kind) > len(shown):
+            title += f" (showing last {len(shown)})"
+        sections.append(title + "\n" + _render_table(headers, rows, dates))
+    return "\n\n".join(sections)

@@ -1,0 +1,55 @@
+"""Appending entries to a journal file.
+
+The journal is append-only by construction: a writer never reads,
+rewrites or truncates the file, it only adds complete lines.  Each line
+is canonical JSON (sorted keys, no whitespace) followed by a single
+newline, written with one ``write`` call on a file opened in append
+mode -- on POSIX appends of one buffered line this keeps concurrent
+writers (two CI jobs, a tables run racing a bench run) from interleaving
+mid-entry, and a crash can at worst leave one truncated *final* line,
+which the tolerant reader skips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .schema import validate_entry
+
+__all__ = ["encode_entry", "append_entry", "JournalSchemaError"]
+
+
+class JournalSchemaError(ValueError):
+    """An entry failed schema validation before being written."""
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = list(problems)
+        super().__init__("; ".join(problems))
+
+
+def encode_entry(entry: dict) -> str:
+    """One canonical JSONL line (no trailing newline).
+
+    Validation happens here, on the write side: a journal is a committed
+    long-lived artifact, so malformed entries must be rejected at the
+    producer instead of surfacing as skip-noise in every later read.
+    """
+    problems = validate_entry(entry)
+    if problems:
+        raise JournalSchemaError(problems)
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def append_entry(path: str | Path, entry: dict) -> dict:
+    """Validate ``entry`` and append it to the journal at ``path``.
+
+    Parent directories are created as needed.  Returns the entry for
+    chaining (``append_entry(path, tables_entry(...))``).
+    """
+    line = encode_entry(entry)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return entry

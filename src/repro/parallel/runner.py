@@ -133,12 +133,15 @@ class CircuitJobResult:
 
     ``stats`` is the worker engine's instrumentation, ``None`` when the
     job ran in-process (its events already landed on the caller's engine).
+    ``wall_seconds`` is the job body's wall clock on whichever side ran
+    it (journal bookkeeping; not part of the checkpoint payload).
     """
 
     circuit: str
     basic: "CircuitBasicResult | None" = None
     table6: "Table6Row | None" = None
     stats: EngineStats | None = None
+    wall_seconds: float = 0.0
 
     @property
     def key(self) -> str:
@@ -246,6 +249,7 @@ def run_circuit_job(job: CircuitJob, engine: Engine) -> CircuitJobResult:
     """Run one circuit's work on ``engine`` (in-process path)."""
     from ..experiments.tables import run_basic_circuit, run_table6_circuit
 
+    started = time.perf_counter()
     session = engine.session(job.circuit)
     basic = None
     if job.run_basic:
@@ -253,7 +257,12 @@ def run_circuit_job(job: CircuitJob, engine: Engine) -> CircuitJobResult:
     table6 = None
     if job.run_table6:
         table6 = run_table6_circuit(session, job.scale)
-    return CircuitJobResult(circuit=job.circuit, basic=basic, table6=table6)
+    return CircuitJobResult(
+        circuit=job.circuit,
+        basic=basic,
+        table6=table6,
+        wall_seconds=time.perf_counter() - started,
+    )
 
 
 def execute_job(job: "Job") -> "CircuitJobResult | ShardJobResult":
@@ -308,6 +317,7 @@ def _run_job_guarded(
     from ..experiments.tables import run_basic_circuit, run_table6_circuit
 
     phase = "inject"
+    started = time.perf_counter()
     try:
         _inject_chaos(job, attempt, in_worker)
         if isinstance(job, FaultShardJob):
@@ -324,6 +334,7 @@ def _run_job_guarded(
         if job.run_table6:
             phase = "table6"
             result.table6 = run_table6_circuit(session, job.scale)
+        result.wall_seconds = time.perf_counter() - started
     except Exception as exc:
         return JobFailure.from_exception(job.key, phase, exc, attempt)
     return result
@@ -487,6 +498,7 @@ class ParallelRunner:
             if cached is not None:
                 results[job.key] = cached
                 self.engine.stats.count("parallel.resumed")
+                self._journal_record(job, resumed=True)
             else:
                 pending.append(job)
         if pending:
@@ -507,6 +519,17 @@ class ParallelRunner:
 
     # -- shared bookkeeping --------------------------------------------
 
+    @staticmethod
+    def _job_kind(job: "Job") -> str:
+        return "shard" if isinstance(job, FaultShardJob) else "circuit"
+
+    def _journal_record(self, job: "Job", **extra) -> None:
+        """Append a per-job completion record to the engine (when it keeps
+        one; see ``Engine.job_records``) for run-journal bookkeeping."""
+        records = getattr(self.engine, "job_records", None)
+        if records is not None:
+            records.append({"key": job.key, "kind": self._job_kind(job), **extra})
+
     def _record(
         self,
         job: "Job",
@@ -517,6 +540,7 @@ class ParallelRunner:
         if result.stats is not None:
             self.engine.stats.merge(result.stats)
         results[result.key] = result
+        self._journal_record(job, wall_seconds=round(result.wall_seconds, 6))
         if checkpoint is not None:
             checkpoint.save(result, job)
             self.engine.stats.count("parallel.checkpointed")

@@ -1,0 +1,153 @@
+"""Trajectory-gate semantics: tolerance boundary, windowing, history."""
+
+from repro.journal import gate_candidate, gate_trajectory
+
+from .test_schema import minimal_entry
+
+
+def history(values, kind="bench", metric="m"):
+    return [
+        minimal_entry(kind=kind, sha=f"{i:040x}", metrics={metric: value})
+        for i, value in enumerate(values)
+    ]
+
+
+def finding(report, metric="m"):
+    [one] = [f for f in report.findings if f.metric == metric]
+    return one
+
+
+class TestToleranceBoundary:
+    def test_exactly_at_tolerance_is_ok(self):
+        # ratio == 1 + tolerance must NOT regress: the bound is strict.
+        report = gate_candidate(history([1.0]), "bench", {"m": 1.25}, tolerance=0.25)
+        assert finding(report).verdict == "ok"
+        assert report.ok
+
+    def test_just_above_tolerance_regresses(self):
+        report = gate_candidate(history([1.0]), "bench", {"m": 1.2501}, tolerance=0.25)
+        one = finding(report)
+        assert one.verdict == "regression"
+        assert one.baseline == 1.0
+        assert not report.ok
+
+    def test_twice_as_slow_always_regresses_at_default_tolerance(self):
+        """The CI acceptance scenario: a synthetic 2x slowdown is caught."""
+        report = gate_candidate(history([0.5, 0.4, 0.6]), "bench", {"m": 1.0})
+        assert finding(report).verdict == "regression"
+
+    def test_improvement_is_ok(self):
+        report = gate_candidate(history([1.0]), "bench", {"m": 0.2})
+        assert finding(report).verdict == "ok"
+
+
+class TestWindowAndHistory:
+    def test_no_history_is_skipped_not_failed(self):
+        report = gate_candidate([], "bench", {"m": 99.0})
+        one = finding(report)
+        assert one.verdict == "skipped"
+        assert one.history == 0
+        assert report.ok
+        assert report.gated == 0
+
+    def test_min_history_raises_the_bar(self):
+        report = gate_candidate(history([1.0]), "bench", {"m": 9.0}, min_history=2)
+        assert finding(report).verdict == "skipped"
+
+    def test_baseline_is_median_of_window(self):
+        report = gate_candidate(
+            history([10.0, 1.0, 2.0, 3.0]), "bench", {"m": 3.0}, window=3
+        )
+        one = finding(report)
+        # Window keeps the last 3 values (1, 2, 3); the old 10.0 outlier
+        # is outside it, so the median is 2 and 3.0/2.0 = 1.5 regresses.
+        assert one.baseline == 2.0
+        assert one.ratio == 1.5
+        assert one.verdict == "regression"
+
+    def test_median_resists_one_outlier_inside_window(self):
+        report = gate_candidate(history([1.0, 1.0, 100.0]), "bench", {"m": 1.1})
+        assert finding(report).baseline == 1.0
+        assert finding(report).verdict == "ok"
+
+    def test_series_are_per_metric_and_per_kind(self):
+        entries = history([1.0], kind="tables") + history([5.0], kind="bench")
+        report = gate_candidate(entries, "bench", {"m": 5.5})
+        one = finding(report)
+        # The tables entry must not dilute the bench series.
+        assert one.history == 1
+        assert one.baseline == 5.0
+
+    def test_missing_metric_in_history_entries_is_not_history(self):
+        entries = history([1.0]) + [
+            minimal_entry(kind="bench", metrics={"other": 2.0})
+        ]
+        report = gate_candidate(entries, "bench", {"m": 1.0})
+        assert finding(report).history == 1
+
+
+class TestZeroBaseline:
+    def test_zero_history_zero_candidate_is_ok(self):
+        report = gate_candidate(history([0.0]), "bench", {"m": 0.0})
+        assert finding(report).verdict == "ok"
+
+    def test_zero_history_positive_candidate_regresses(self):
+        report = gate_candidate(history([0.0]), "bench", {"m": 0.001})
+        one = finding(report)
+        assert one.ratio == float("inf")
+        assert one.verdict == "regression"
+
+
+class TestTrajectory:
+    def test_latest_mode_gates_only_newest_entry(self):
+        entries = history([1.0, 1.1, 5.0])
+        report = gate_trajectory(entries[:2] + [entries[2]])
+        assert len(report.findings) == 1
+        assert finding(report).verdict == "regression"
+        assert finding(report).sha == entries[2]["sha"]
+
+    def test_single_entry_journal_is_all_skipped(self):
+        report = gate_trajectory(history([1.0]))
+        assert [f.verdict for f in report.findings] == ["skipped"]
+        assert report.ok
+
+    def test_gate_all_finds_mid_history_regression(self):
+        # The regression sits at position 2; entries after it recover, so
+        # latest-mode would miss it but --all replays every position.
+        entries = history([1.0, 1.05, 5.0, 1.0, 1.0])
+        latest = gate_trajectory(entries)
+        assert latest.ok
+        replay = gate_trajectory(entries, gate_all=True)
+        assert not replay.ok
+        [bad] = replay.regressions
+        assert bad.sha == entries[2]["sha"]
+        assert len(replay.findings) == len(entries) - 1
+
+    def test_kinds_filter(self):
+        entries = history([1.0, 9.0], kind="bench") + history(
+            [1.0, 1.0], kind="tables"
+        )
+        assert not gate_trajectory(entries).ok
+        assert gate_trajectory(entries, kinds=["tables"]).ok
+
+    def test_each_entry_judged_only_against_its_past(self):
+        # A fast future entry must not retroactively excuse a slow past one.
+        entries = history([1.0, 5.0, 0.1])
+        replay = gate_trajectory(entries, gate_all=True)
+        verdicts = [f.verdict for f in replay.findings]
+        assert verdicts == ["regression", "ok"]
+
+
+class TestReportFormatting:
+    def test_format_summarizes_counts(self):
+        report = gate_trajectory(history([1.0, 1.0, 9.0]), gate_all=True)
+        text = report.format()
+        assert "2 metric(s) gated" in text
+        assert "1 regression(s)" in text
+        assert "REGRESSION" in text
+
+    def test_describe_mentions_sha_and_ratio(self):
+        report = gate_trajectory(history([1.0, 2.0]))
+        text = finding(report).describe()
+        assert "@ 0000000" in text
+        assert "(2.00x)" in text

@@ -1,0 +1,88 @@
+"""Tolerant journal reading: corruption never raises, always localizes."""
+
+from repro.journal import JournalProblem, encode_entry, read_journal
+
+from .test_schema import minimal_entry
+
+
+def write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return path
+
+
+def test_missing_file_is_empty_journal(tmp_path):
+    read = read_journal(tmp_path / "absent.jsonl")
+    assert read.entries == []
+    assert read.problems == []
+
+
+def test_blank_lines_skipped_silently(tmp_path):
+    journal = write_lines(
+        tmp_path / "j.jsonl",
+        ["", encode_entry(minimal_entry()), "", "   ", ""],
+    )
+    read = read_journal(journal)
+    assert len(read.entries) == 1
+    assert read.problems == []
+
+
+def test_corrupt_line_becomes_problem_with_line_number(tmp_path):
+    journal = write_lines(
+        tmp_path / "j.jsonl",
+        [encode_entry(minimal_entry()), "{not json", encode_entry(minimal_entry())],
+    )
+    read = read_journal(journal)
+    assert len(read.entries) == 2
+    assert len(read.problems) == 1
+    assert read.problems[0].line == 2
+    assert "not valid JSON" in read.problems[0].reason
+
+
+def test_truncated_final_line_tolerated(tmp_path):
+    """The crash-mid-append case the writer's design promises to survive."""
+    journal = tmp_path / "j.jsonl"
+    good = encode_entry(minimal_entry())
+    journal.write_text(good + "\n" + good[: len(good) // 2], encoding="utf-8")
+    read = read_journal(journal)
+    assert len(read.entries) == 1
+    assert len(read.problems) == 1
+    assert read.problems[0].line == 2
+
+
+def test_schema_invalid_line_localized(tmp_path):
+    journal = write_lines(
+        tmp_path / "j.jsonl",
+        [encode_entry(minimal_entry()), '{"v":1,"kind":"vibes"}'],
+    )
+    read = read_journal(journal)
+    assert len(read.entries) == 1
+    [problem] = read.problems
+    assert problem.line == 2
+    assert "kind" in problem.reason
+    assert problem.describe().startswith("line 2: ")
+
+
+def test_non_object_line_rejected(tmp_path):
+    journal = write_lines(tmp_path / "j.jsonl", ["[1,2,3]", "42", '"hi"'])
+    read = read_journal(journal)
+    assert read.entries == []
+    assert [p.line for p in read.problems] == [1, 2, 3]
+
+
+def test_of_kind_and_kinds(tmp_path):
+    journal = write_lines(
+        tmp_path / "j.jsonl",
+        [
+            encode_entry(minimal_entry(kind="bench")),
+            encode_entry(minimal_entry(kind="tables")),
+            encode_entry(minimal_entry(kind="bench", sha="b" * 40)),
+        ],
+    )
+    read = read_journal(journal)
+    assert read.kinds == ["bench", "tables"]
+    assert [e["sha"] for e in read.of_kind("bench")] == ["a" * 40, "b" * 40]
+    assert len(read.of_kind("tables")) == 1
+
+
+def test_problem_is_frozen_value_object():
+    assert JournalProblem(3, "bad") == JournalProblem(3, "bad")

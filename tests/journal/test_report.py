@@ -1,0 +1,71 @@
+"""Trend-table rendering."""
+
+from repro.journal import format_value, render_report, report_rows
+
+from .test_schema import minimal_entry
+
+
+def entry(sha, metrics, kind="bench", ts="2026-08-07T12:00:00+00:00"):
+    return minimal_entry(sha=sha, metrics=metrics, kind=kind, ts=ts)
+
+
+def test_format_value_four_significant_digits():
+    assert format_value(0.123456) == "0.1235"
+    assert format_value(12.0) == "12"
+    assert format_value(123456.0) == "1.235e+05"
+
+
+def test_rows_align_metrics_across_entries():
+    entries = [
+        entry("a" * 40, {"old": 1.0, "shared": 2.0}),
+        entry("b" * 40, {"new": 3.0, "shared": 2.5}),
+    ]
+    headers, rows = report_rows(entries)
+    assert headers == ["metric", "aaaaaaa", "bbbbbbb"]
+    # Sorted by metric name; "-" marks runs without the metric, so
+    # retired and newly added series coexist in one table.
+    assert rows == [
+        ["new", "-", "3"],
+        ["old", "1", "-"],
+        ["shared", "2", "2.5"],
+    ]
+
+
+def test_last_limits_columns_to_newest():
+    entries = [entry(f"{i:040x}", {"m": float(i)}) for i in range(5)]
+    headers, rows = report_rows(entries, last=2)
+    assert len(headers) == 3
+    assert rows == [["m", "3", "4"]]
+
+
+def test_unknown_sha_labelled():
+    headers, _ = report_rows([entry("unknown", {"m": 1.0})])
+    assert headers == ["metric", "unknown"]
+
+
+def test_render_report_sections_per_kind():
+    entries = [
+        entry("a" * 40, {"tables_s27": 0.5}, kind="bench"),
+        entry("b" * 40, {"s27.values.seconds": 1.0}, kind="tables"),
+        entry("c" * 40, {"tables_s27": 0.4}, kind="bench"),
+    ]
+    text = render_report(entries)
+    assert "run journal -- kind bench: 2 entries" in text
+    assert "run journal -- kind tables: 1 entry" in text
+    assert "2026-08-07" in text  # date row under the sha columns
+    bench_section, tables_section = text.split("\n\n")
+    assert "aaaaaaa" in bench_section and "ccccccc" in bench_section
+    assert "bbbbbbb" in tables_section
+
+
+def test_render_report_kind_filter_and_empty():
+    entries = [entry("a" * 40, {"m": 1.0}, kind="bench")]
+    assert "kind bench" in render_report(entries, kinds=["bench"])
+    assert render_report(entries, kinds=["tables"]) == "run journal: no entries"
+    assert render_report([]) == "run journal: no entries"
+
+
+def test_render_report_notes_truncation():
+    entries = [entry(f"{i:040x}", {"m": float(i)}) for i in range(4)]
+    text = render_report(entries, last=2)
+    assert "(showing last 2)" in text

@@ -1,0 +1,229 @@
+"""Schema, entry builders, and write -> read -> report round-trips."""
+
+import json
+
+import pytest
+
+from repro.engine import EngineStats
+from repro.experiments.results import (
+    CircuitBasicResult,
+    ExperimentResults,
+    HeuristicOutcome,
+    Table1Result,
+    Table2Result,
+    Table6Row,
+)
+from repro.journal import (
+    SCHEMA_VERSION,
+    JournalSchemaError,
+    append_entry,
+    encode_entry,
+    read_journal,
+    report_rows,
+    tables_entry,
+    validate_entry,
+)
+
+# This repo collects ``bench_*`` functions as pytest-benchmark tests, so
+# the builder must not be bound under its own name at module scope.
+from repro.journal import bench_entry as make_bench_entry
+
+
+def minimal_entry(**overrides) -> dict:
+    entry = {
+        "v": SCHEMA_VERSION,
+        "kind": "bench",
+        "ts": "2026-08-07T00:00:00+00:00",
+        "sha": "a" * 40,
+        "machine": {"python": "3.11.7", "platform": "Linux-test"},
+        "metrics": {"tables_s27": 0.25},
+    }
+    entry.update(overrides)
+    return entry
+
+
+def sample_results() -> ExperimentResults:
+    return ExperimentResults(
+        scale="smoke",
+        table1=Table1Result(
+            circuit="s27",
+            cap_paths=20,
+            kept_paths=[("a", "b")],
+            kept_lengths=[2],
+            pruned_complete=1,
+            min_length=2,
+            max_length=2,
+        ),
+        table2=Table2Result(circuit="s1423_proxy", rows=[(0, 5, 4)]),
+        basic={
+            "s27": CircuitBasicResult(
+                circuit="s27",
+                i0=2,
+                p0_total=10,
+                p01_total=20,
+                outcomes={
+                    "values": HeuristicOutcome(
+                        detected_p0=8,
+                        tests=5,
+                        detected_p01=12,
+                        runtime_seconds=1.25,
+                    ),
+                    "uncomp": HeuristicOutcome(
+                        detected_p0=7,
+                        tests=9,
+                        detected_p01=11,
+                        runtime_seconds=2.5,
+                        aborted=1,
+                    ),
+                },
+            )
+        },
+        table6=[
+            Table6Row(
+                circuit="s27",
+                i0=2,
+                p0_total=10,
+                p0_detected=9,
+                p01_total=20,
+                p01_detected=15,
+                tests=6,
+                runtime_seconds=3.75,
+                aborted=2,
+            )
+        ],
+    )
+
+
+class TestValidateEntry:
+    def test_minimal_entry_is_valid(self):
+        assert validate_entry(minimal_entry()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_entry([1, 2]) != []
+
+    @pytest.mark.parametrize("key", ["v", "kind", "ts", "sha", "machine", "metrics"])
+    def test_each_required_key(self, key):
+        entry = minimal_entry()
+        del entry[key]
+        assert validate_entry(entry) != []
+
+    def test_unknown_kind_rejected(self):
+        assert validate_entry(minimal_entry(kind="vibes")) != []
+
+    def test_future_schema_version_rejected(self):
+        assert validate_entry(minimal_entry(v=SCHEMA_VERSION + 1)) != []
+
+    def test_non_numeric_metric_rejected(self):
+        assert validate_entry(minimal_entry(metrics={"a": "fast"})) != []
+        assert validate_entry(minimal_entry(metrics={"a": True})) != []
+
+    def test_machine_needs_python_and_platform(self):
+        assert validate_entry(minimal_entry(machine={"python": "3.11"})) != []
+
+    def test_encode_rejects_invalid(self):
+        with pytest.raises(JournalSchemaError):
+            encode_entry(minimal_entry(kind="nope"))
+
+
+class TestBuilders:
+    def test_tables_entry_collects_runtime_series(self):
+        stats = EngineStats()
+        stats.hit("cone")
+        stats.miss("cone")
+        stats.count("budget.aborted", 3)
+        stats.count("parallel.jobs", 2)
+        stats.add_time("generate", 1.5)
+        stats.max_time("shard.wall", 0.75)
+        entry = tables_entry(
+            sample_results(),
+            stats,
+            wall_seconds=9.5,
+            config={"jobs": 2},
+            jobs=[{"key": "s27", "kind": "circuit", "wall_seconds": 4.0}],
+            sha="b" * 40,
+            ts="2026-08-07T00:00:00+00:00",
+        )
+        assert validate_entry(entry) == []
+        assert entry["kind"] == "tables"
+        assert entry["metrics"]["tables.wall_seconds"] == 9.5
+        assert entry["metrics"]["s27.values.seconds"] == 1.25
+        assert entry["metrics"]["s27.uncomp.seconds"] == 2.5
+        assert entry["metrics"]["s27.enrich.seconds"] == 3.75
+        assert entry["counters"]["aborted.basic"] == 1
+        assert entry["counters"]["aborted.enrich"] == 2
+        assert entry["counters"]["budget.aborted"] == 3
+        assert entry["counters"]["parallel.jobs"] == 2
+        assert entry["caches"]["cone"] == {"hit": 1, "miss": 1, "rate": 0.5}
+        assert entry["phases"]["generate"] == 1.5
+        assert entry["phases"]["max.shard.wall"] == 0.75
+        assert entry["jobs"][0]["key"] == "s27"
+        assert entry["config"]["scale"] == "smoke"
+        assert entry["config"]["jobs"] == 2
+
+    def test_tables_entry_leaves_inputs_untouched(self):
+        """Journaling must never perturb the experiment output."""
+        results = sample_results()
+        stats = EngineStats()
+        before = results.canonical_json()
+        counters_before = dict(stats.counters)
+        tables_entry(results, stats, wall_seconds=1.0, sha="c" * 40)
+        assert results.canonical_json() == before
+        assert dict(stats.counters) == counters_before
+
+    def test_bench_entry_uses_payload_results_and_meta(self):
+        payload = {
+            "meta": {"python": "3.9.1", "platform": "Linux-old"},
+            "results": {"tables_s27": 0.4, "justify_cone": 0.7},
+        }
+        entry = make_bench_entry(payload, sha="d" * 40, config={"repeats": 6})
+        assert validate_entry(entry) == []
+        assert entry["metrics"] == {"tables_s27": 0.4, "justify_cone": 0.7}
+        assert entry["machine"]["python"] == "3.9.1"
+        assert entry["config"]["repeats"] == 6
+
+    def test_entry_defaults_fill_sha_ts_machine(self):
+        entry = make_bench_entry({"results": {"x": 1.0}})
+        assert validate_entry(entry) == []
+        assert entry["sha"]
+        assert entry["ts"]
+        assert "cpus" in entry["machine"]
+
+    def test_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "cafe" * 10)
+        entry = make_bench_entry({"results": {"x": 1.0}})
+        assert entry["sha"] == "cafe" * 10
+
+
+class TestRoundTrip:
+    def test_write_read_report(self, tmp_path):
+        """The acceptance loop: write -> read -> report rows."""
+        journal = tmp_path / "journal.jsonl"
+        first = minimal_entry(sha="1" * 40, metrics={"tables_s27": 0.4})
+        second = minimal_entry(sha="2" * 40, metrics={"tables_s27": 0.2})
+        append_entry(journal, first)
+        append_entry(journal, second)
+        read = read_journal(journal)
+        assert read.problems == []
+        assert read.entries == [first, second]
+        headers, rows = report_rows(read.entries)
+        assert headers == ["metric", "1111111", "2222222"]
+        assert rows == [["tables_s27", "0.4", "0.2"]]
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        append_entry(journal, minimal_entry())
+        line = journal.read_text().splitlines()[0]
+        assert line == json.dumps(json.loads(line), sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_append_never_rewrites(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        append_entry(journal, minimal_entry(sha="1" * 40))
+        before = journal.read_text()
+        append_entry(journal, minimal_entry(sha="2" * 40))
+        assert journal.read_text().startswith(before)
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        journal = tmp_path / "deep" / "nest" / "journal.jsonl"
+        append_entry(journal, minimal_entry())
+        assert journal.exists()

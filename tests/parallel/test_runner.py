@@ -408,6 +408,43 @@ class TestCheckpointResume:
             run_all(TINY, circuits=("s27",), table6_circuits=(), resume=True)
 
 
+class TestJobRecords:
+    """The journal seam: every completed job leaves a record on the
+    engine with its identity and wall clock."""
+
+    def test_records_key_kind_and_wall_seconds(self):
+        engine = Engine()
+        ParallelRunner(jobs=1, engine=engine).run(_values_jobs())
+        assert [r["key"] for r in engine.job_records] == list(CIRCUITS)
+        assert all(r["kind"] == "circuit" for r in engine.job_records)
+        assert all(r["wall_seconds"] > 0 for r in engine.job_records)
+
+    def test_pool_path_also_records(self):
+        engine = Engine()
+        ParallelRunner(jobs=2, engine=engine).run(_values_jobs())
+        assert sorted(r["key"] for r in engine.job_records) == sorted(CIRCUITS)
+
+    def test_resumed_jobs_flagged(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        jobs = _values_jobs(("s27",))
+        ParallelRunner(jobs=1, engine=Engine()).run(jobs, checkpoint=checkpoint)
+        engine = Engine()
+        ParallelRunner(jobs=1, engine=engine).run(jobs, checkpoint=checkpoint)
+        [record] = engine.job_records
+        assert record["resumed"] is True
+        assert "wall_seconds" not in record
+
+    def test_engines_without_the_attribute_tolerated(self):
+        class BareEngine(Engine):
+            def __init__(self):
+                super().__init__()
+                del self.job_records
+
+        engine = BareEngine()
+        results = ParallelRunner(jobs=1, engine=engine).run(_values_jobs(("s27",)))
+        assert results[0].basic is not None
+
+
 class TestStatsMerge:
     def test_merge_sums_counters_and_timers(self):
         parent, worker1, worker2 = EngineStats(), EngineStats(), EngineStats()

@@ -1,5 +1,6 @@
 """Unit tests for the benchmark comparison gate (tools/bench_compare.py)."""
 
+import argparse
 import importlib.util
 from pathlib import Path
 
@@ -40,3 +41,79 @@ class TestCompare:
 
     def test_zero_baseline_counts_as_regression(self):
         assert len(_run({"a": 0.0}, {"a": 0.1})) == 1
+
+
+class TestMergeBaseline:
+    def test_current_wins_shared_entries(self):
+        merged = bench_compare.merge_baseline(
+            {"meta": {"python": "3.12"}, "results": {"a": 2.0}},
+            {"meta": {"python": "3.10"}, "results": {"a": 1.0}},
+        )
+        assert merged["results"] == {"a": 2.0}
+        assert merged["meta"] == {"python": "3.12"}
+
+    def test_retired_entries_preserved(self):
+        """--update-baseline must merge, not overwrite: entries only the
+        old baseline has (retired benchmarks) survive the refresh."""
+        merged = bench_compare.merge_baseline(
+            {"results": {"a": 2.0}},
+            {"results": {"a": 1.0, "retired": 0.5}},
+        )
+        assert merged["results"] == {"a": 2.0, "retired": 0.5}
+
+
+def _journal_args(journal, journal_gate=False, max_regression=0.25):
+    return argparse.Namespace(
+        journal=str(journal),
+        journal_gate=journal_gate,
+        max_regression=max_regression,
+        sharded=False,
+        repeats=3,
+        update_baseline=False,
+    )
+
+
+class TestJournalRun:
+    def test_appends_valid_bench_entry(self, tmp_path, monkeypatch):
+        from repro.journal import read_journal
+
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "a" * 40)
+        journal = tmp_path / "journal.jsonl"
+        current = {"meta": {}, "results": {"tables_s27": 0.5}}
+        regressions = bench_compare.journal_run(
+            current, _journal_args(journal), skip_gate=False
+        )
+        assert regressions == 0
+        read = read_journal(journal)
+        assert read.problems == []
+        [entry] = read.entries
+        assert entry["kind"] == "bench"
+        assert entry["metrics"] == {"tables_s27": 0.5}
+        assert entry["config"]["repeats"] == 3
+
+    def test_gate_counts_trajectory_regressions(self, tmp_path, monkeypatch):
+        from repro.journal import append_entry, bench_entry, read_journal
+
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "a" * 40)
+        journal = tmp_path / "journal.jsonl"
+        append_entry(journal, bench_entry({"results": {"tables_s27": 0.5}}))
+        slow = {"meta": {}, "results": {"tables_s27": 1.5}}
+        regressions = bench_compare.journal_run(
+            slow, _journal_args(journal, journal_gate=True), skip_gate=False
+        )
+        assert regressions == 1
+        # The regressing measurement is still recorded after the verdict.
+        assert len(read_journal(journal).entries) == 2
+
+    def test_skip_gate_still_appends(self, tmp_path, monkeypatch):
+        from repro.journal import append_entry, bench_entry, read_journal
+
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "a" * 40)
+        journal = tmp_path / "journal.jsonl"
+        append_entry(journal, bench_entry({"results": {"tables_s27": 0.5}}))
+        slow = {"meta": {}, "results": {"tables_s27": 9.0}}
+        regressions = bench_compare.journal_run(
+            slow, _journal_args(journal, journal_gate=True), skip_gate=True
+        )
+        assert regressions == 0
+        assert len(read_journal(journal).entries) == 2

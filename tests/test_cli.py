@@ -209,6 +209,78 @@ class TestCommands:
         assert "s641_proxy" in err
         assert "--resume" in err
 
+    def test_tables_journal_does_not_perturb_output(self, tmp_path, capsys):
+        """The journaled run's results and rendered tables are identical
+        to the unjournaled run's; the journal gains exactly one valid
+        entry carrying the run's config and per-job records."""
+        from repro.journal import read_journal
+
+        journal = tmp_path / "journal.jsonl"
+        base = [
+            "tables",
+            "--scale",
+            "smoke",
+            "--quick",
+            "--max-faults",
+            "120",
+            "--p0-min-faults",
+            "30",
+        ]
+        outputs = {}
+        for label, extra in (
+            ("plain", []),
+            ("journaled", ["--journal", str(journal)]),
+        ):
+            out_path = tmp_path / f"{label}.json"
+            assert main(base + extra + ["--out", str(out_path)]) == 0
+            capsys.readouterr()
+            # Zero the measured wall clocks (the only nondeterministic
+            # fields); everything else must be byte-identical.
+            payload = json.loads(out_path.read_text())
+            for entry in payload["basic"].values():
+                for outcome in entry["outcomes"].values():
+                    outcome["runtime_seconds"] = 0.0
+            for row in payload["table6"]:
+                row["runtime_seconds"] = 0.0
+            outputs[label] = payload
+        assert outputs["plain"] == outputs["journaled"]
+        read = read_journal(journal)
+        assert read.problems == []
+        [entry] = read.entries
+        assert entry["kind"] == "tables"
+        assert entry["config"]["scale"] == "smoke"
+        assert entry["config"]["max_faults"] == 120
+        assert entry["metrics"]["tables.wall_seconds"] > 0
+        assert any(
+            name.endswith(".enrich.seconds") for name in entry["metrics"]
+        )
+        assert entry["jobs"] and all("wall_seconds" in job for job in entry["jobs"])
+        assert "enumerate" in entry["caches"]
+
+    def test_tables_from_json_skips_journal(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        base = [
+            "tables",
+            "--scale",
+            "smoke",
+            "--quick",
+            "--max-faults",
+            "120",
+            "--p0-min-faults",
+            "30",
+        ]
+        assert main(base + ["--out", str(out_path)]) == 0
+        capsys.readouterr()
+        journal = tmp_path / "journal.jsonl"
+        code = main(
+            ["tables", "--from-json", str(out_path), "--journal", str(journal)]
+        )
+        assert code == 0
+        # Cached renders measured nothing; journaling one would poison
+        # the trajectory with zero-cost entries.
+        assert not journal.exists()
+        assert "nothing was measured" in capsys.readouterr().err
+
     def test_tables_quick_smoke_with_cache(self, tmp_path, capsys):
         out_path = tmp_path / "results.json"
         code = main(
@@ -235,3 +307,88 @@ class TestCommands:
         assert code == 0
         second = capsys.readouterr().out
         assert second == first
+
+
+class TestJournalCommands:
+    @staticmethod
+    def write_journal(path, values, metric="tables_s27"):
+        from repro.journal import append_entry
+
+        for i, value in enumerate(values):
+            append_entry(
+                path,
+                {
+                    "v": 1,
+                    "kind": "bench",
+                    "ts": f"2026-08-{i + 1:02d}T00:00:00+00:00",
+                    "sha": f"{i:040x}",
+                    "machine": {"python": "3.12", "platform": "test"},
+                    "metrics": {metric: value},
+                },
+            )
+        return path
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        code = main(["journal", "validate", "--journal", str(tmp_path / "no.jsonl")])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_validate_clean_journal(self, tmp_path, capsys):
+        journal = self.write_journal(tmp_path / "j.jsonl", [0.5, 0.4])
+        assert main(["journal", "validate", "--journal", str(journal)]) == 0
+        assert "2 valid entries, 0 problem line(s)" in capsys.readouterr().out
+
+    def test_validate_flags_corrupt_line(self, tmp_path, capsys):
+        journal = self.write_journal(tmp_path / "j.jsonl", [0.5])
+        with journal.open("a") as handle:
+            handle.write("{broken\n")
+        assert main(["journal", "validate", "--journal", str(journal)]) == 1
+        captured = capsys.readouterr()
+        assert "1 problem line(s)" in captured.out
+        assert "line 2" in captured.err
+
+    def test_report_renders_and_writes_out(self, tmp_path, capsys):
+        journal = self.write_journal(tmp_path / "j.jsonl", [0.5, 0.4])
+        out = tmp_path / "report.txt"
+        code = main(
+            ["journal", "report", "--journal", str(journal), "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "kind bench: 2 entries" in text
+        assert "tables_s27" in text
+        assert out.read_text().strip() in text
+
+    def test_gate_missing_file(self, tmp_path, capsys):
+        assert main(["journal", "gate", "--journal", str(tmp_path / "no.jsonl")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_gate_passes_stable_trajectory(self, tmp_path, capsys):
+        journal = self.write_journal(tmp_path / "j.jsonl", [0.5, 0.52, 0.48])
+        assert main(["journal", "gate", "--journal", str(journal)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_gate_fails_on_2x_slowdown(self, tmp_path, capsys):
+        """The CI acceptance scenario: a synthetic 2x slowdown appended
+        to a healthy trajectory must flip the gate to exit 1."""
+        journal = self.write_journal(tmp_path / "j.jsonl", [0.5, 0.52, 1.04])
+        assert main(["journal", "gate", "--journal", str(journal)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "1 trajectory regression(s)" in captured.err
+
+    def test_gate_all_replays_whole_trajectory(self, tmp_path, capsys):
+        # Slow entry in the middle, recovered since: only --all sees it.
+        journal = self.write_journal(tmp_path / "j.jsonl", [0.5, 2.0, 0.5, 0.5])
+        assert main(["journal", "gate", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["journal", "gate", "--journal", str(journal), "--all"]) == 1
+
+    def test_gate_tolerance_flag(self, tmp_path, capsys):
+        journal = self.write_journal(tmp_path / "j.jsonl", [1.0, 1.4])
+        assert main(["journal", "gate", "--journal", str(journal)]) == 1
+        capsys.readouterr()
+        code = main(
+            ["journal", "gate", "--journal", str(journal), "--tolerance", "0.5"]
+        )
+        assert code == 0

@@ -36,7 +36,20 @@ the current run did not produce is reported and skipped, so retired
 benchmarks never block an otherwise-green run.  CI runs this against the
 committed ``benchmarks/BENCH_PR4.json`` / ``BENCH_PR6.json``; refresh
 those files with ``--update-baseline`` on a quiet machine when a
-deliberate change moves the numbers.
+deliberate change moves the numbers -- the refresh *merges* into the
+existing baseline (entries this run did not produce are preserved), so
+retired benchmarks are never silently dropped from the file.
+
+``--journal PATH`` additionally appends this run's numbers to the
+persistent run journal (see :mod:`repro.journal`) as a ``bench`` entry,
+and ``--journal-gate`` compares them against the journal *trajectory*
+-- the median of the last recorded values per entry, with the same
+``--max-regression`` tolerance -- instead of only the single committed
+baseline.  The entry is appended even when the gate fails (a regression
+is still a measurement worth recording; the exit code is what blocks
+the merge), and a deliberate ``--update-baseline`` refresh skips the
+trajectory gate (moving the numbers is the point) while still
+journaling the new measurement.
 """
 
 from __future__ import annotations
@@ -211,6 +224,66 @@ def run_benches(repeats: int, sharded: bool = False) -> dict:
     }
 
 
+def merge_baseline(current: dict, previous: dict) -> dict:
+    """The refreshed baseline document: ``current`` wins entry by entry,
+    but entries only the old baseline has (retired or not-run benchmarks)
+    are carried over instead of dropped."""
+    return {
+        **current,
+        "results": {
+            **previous.get("results", {}),
+            **current.get("results", {}),
+        },
+    }
+
+
+def journal_run(
+    current: dict, args, skip_gate: bool
+) -> int:
+    """Append this run to the journal; gate against the trajectory first.
+
+    Returns the number of trajectory regressions (0 when gating was
+    skipped or passed).  Gating happens *before* the append so the fresh
+    measurement is judged against its history, and the append happens
+    regardless of the verdict.
+    """
+    from repro.journal import (
+        append_entry,
+        bench_entry,
+        gate_candidate,
+        read_journal,
+    )
+
+    read = read_journal(args.journal)
+    for problem in read.problems:
+        print(f"journal {read.path}: {problem.describe()}", file=sys.stderr)
+    regressions = 0
+    if args.journal_gate and not skip_gate:
+        report = gate_candidate(
+            read.entries,
+            "bench",
+            current["results"],
+            tolerance=args.max_regression,
+        )
+        print(f"gating against trajectory in {read.path}")
+        print(report.format())
+        regressions = len(report.regressions)
+    append_entry(
+        args.journal,
+        bench_entry(
+            current,
+            config={
+                "sharded": bool(args.sharded),
+                "repeats": args.repeats,
+                "max_regression": args.max_regression,
+                "update_baseline": bool(args.update_baseline),
+            },
+        ),
+    )
+    print(f"journal: appended bench entry to {args.journal}")
+    return regressions
+
+
 def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
     failures = []
     base_results = baseline.get("results", {})
@@ -272,9 +345,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="also rewrite the baseline file with this run's numbers",
+        help="also refresh the baseline file with this run's numbers "
+        "(merged: baseline entries this run did not produce are kept)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append this run as a 'bench' entry to the JSONL run journal "
+        "(see repro.journal; CI uses benchmarks/journal.jsonl)",
+    )
+    parser.add_argument(
+        "--journal-gate",
+        action="store_true",
+        help="also fail when an entry regressed by more than "
+        "--max-regression against the journal trajectory's "
+        "median-of-last-5 (requires --journal; skipped on "
+        "--update-baseline refreshes)",
     )
     args = parser.parse_args(argv)
+    if args.journal_gate and not args.journal:
+        parser.error("--journal-gate requires --journal")
     default_name = "BENCH_PR6.json" if args.sharded else "BENCH_PR4.json"
     if args.out is None:
         args.out = default_name
@@ -288,26 +379,50 @@ def main(argv: list[str] | None = None) -> int:
     for name, seconds in current["results"].items():
         print(f"  {name:<30} {seconds:>9.4f}s")
 
+    trajectory_regressions = 0
+    if args.journal:
+        trajectory_regressions = journal_run(
+            current, args, skip_gate=args.update_baseline
+        )
+
     if args.update_baseline:
         baseline_path = Path(args.baseline)
-        baseline_path.write_text(json.dumps(current, indent=1) + "\n")
+        merged = current
+        if baseline_path.exists():
+            previous = json.loads(baseline_path.read_text())
+            merged = merge_baseline(current, previous)
+            retained = sorted(
+                set(merged["results"]) - set(current["results"])
+            )
+            if retained:
+                print(
+                    f"preserved retired baseline entries: {', '.join(retained)}"
+                )
+        baseline_path.write_text(json.dumps(merged, indent=1) + "\n")
         print(f"updated baseline {baseline_path}")
         return 0
 
+    failures = []
     if args.baseline:
         baseline_path = Path(args.baseline)
         if not baseline_path.exists():
             print(f"baseline {baseline_path} not found; skipping comparison")
-            return 0
-        baseline = json.loads(baseline_path.read_text())
-        print(f"comparing against {baseline_path}")
-        failures = compare(current, baseline, args.max_regression)
-        if failures:
-            print("benchmark regression:", file=sys.stderr)
-            for line in failures:
-                print(f"  {line}", file=sys.stderr)
-            return 1
-    return 0
+        else:
+            baseline = json.loads(baseline_path.read_text())
+            print(f"comparing against {baseline_path}")
+            failures = compare(current, baseline, args.max_regression)
+            if failures:
+                print("benchmark regression:", file=sys.stderr)
+                for line in failures:
+                    print(f"  {line}", file=sys.stderr)
+    if trajectory_regressions:
+        print(
+            f"trajectory regression: {trajectory_regressions} journal "
+            f"entr{'y' if trajectory_regressions == 1 else 'ies'} past "
+            f"tolerance",
+            file=sys.stderr,
+        )
+    return 1 if failures or trajectory_regressions else 0
 
 
 if __name__ == "__main__":
