@@ -34,6 +34,12 @@ Key properties used for efficiency:
   simulation (the tested cone-equivalence invariant), and
   ``REPRO_FULL_SIM=1`` (snapshotted per process, :mod:`repro.envflags`)
   falls back to simulating the whole netlist.
+* under ``REPRO_BACKEND=packed`` the cone simulator is the bit-packed
+  kernel (:mod:`repro.sim.packed`): each fixpoint round screens its whole
+  candidate batch 32 columns per uint64 word and rejects the inconsistent
+  ones in one pass.  The final verification below always runs the numpy
+  full-netlist simulation (scalar-precision verify), so the backend only
+  accelerates trial screening.
 * the partial assignment is kept as one ``(n_support, 3)`` ternary-code
   array updated in place by :class:`_SearchState`, so fixpoint rounds
   build their candidate batch by array copy instead of re-walking dicts.
@@ -198,7 +204,12 @@ class Justifier:
         return cached
 
     def _cone(self, requirements: RequirementSet) -> ConeSimulator | None:
-        """The cone simulator for a requirement set (None on the full path)."""
+        """The cone simulator for a requirement set (None on the full path).
+
+        With ``REPRO_BACKEND=packed`` the returned object is the cone's
+        :class:`~repro.sim.packed.PackedConeSimulator` twin -- same
+        interface plus the packed ``screen`` fast path.
+        """
         if not self.use_cones:
             return None
         return self.simulator.restricted(requirements.values.keys())
@@ -245,6 +256,12 @@ class Justifier:
             full_rows = np.array(
                 [self._pi_row[pi] for pi in state.support], dtype=np.int64
             )
+        # The packed backend screens the candidate batch directly on its
+        # packed words (no per-node code materialization); decisions depend
+        # only on the exact (consistent, covered) booleans, which are a
+        # tested identity between backends, so the search trace -- and hence
+        # all downstream output -- is byte-identical.
+        screen = getattr(simulator, "screen", None)
         while True:
             if budget is not None:
                 budget.check_deadline(phase, rounds=stats.rounds)
@@ -276,14 +293,23 @@ class Justifier:
             batch[patched_rows, 1, patched_cols] = np.where(
                 (v1 == v3) & (v1 != X), v1, X
             )
-            sim = simulator.run_codes(batch)
-            stats.simulations += 1
-            self._count_sim(k, simulator.n_nodes)
-            consistent = compiled.consistent_with(sim)
-            if not consistent[0]:
-                return "conflict"
-            if compiled.covered_by(sim[:, :, :1])[0]:
-                return "covered"
+            if screen is not None:
+                consistent, covered_cols = screen(batch, compiled)
+                stats.simulations += 1
+                self._count_sim(k, simulator.n_nodes)
+                if not consistent[0]:
+                    return "conflict"
+                if covered_cols[0]:
+                    return "covered"
+            else:
+                sim = simulator.run_codes(batch)
+                stats.simulations += 1
+                self._count_sim(k, simulator.n_nodes)
+                consistent = compiled.consistent_with(sim)
+                if not consistent[0]:
+                    return "conflict"
+                if compiled.covered_by(sim[:, :, :1])[0]:
+                    return "covered"
             zero_ok = consistent[col_zero]
             one_ok = consistent[col_one]
             if (~zero_ok & ~one_ok).any():

@@ -1,14 +1,19 @@
 """Process-wide environment escape hatches, read once.
 
-The hot kernels consult two opt-out flags:
+The hot kernels consult three knobs:
 
 * ``REPRO_SCALAR_COVER=1`` -- fall back to the per-fault covering loops
   (fault simulation *and* the generator's batched candidate screening);
 * ``REPRO_FULL_SIM=1``     -- justify on the full netlist instead of the
-  cone-restricted sub-simulator.
+  cone-restricted sub-simulator;
+* ``REPRO_BACKEND=<name>`` -- simulation backend for the justifier's
+  candidate screening: ``numpy`` (default, the int8 level kernel) or
+  ``packed`` (2-bit {0,1,x} codes packed 32 columns per uint64 word, see
+  :mod:`repro.sim.packed`).  ``native`` is a reserved name for a future
+  compiled backend and raises :class:`NotImplementedError` until it lands.
 
-Both are consulted on every :class:`~repro.sim.faultsim.FaultSimulator`
-construction and every justification, so each flag is snapshotted on first
+All are consulted on every :class:`~repro.sim.faultsim.FaultSimulator`
+construction and every justification, so each value is snapshotted on first
 use instead of hitting ``os.environ`` per call.  Tests monkeypatch the
 environment and call :func:`reset` (or monkeypatch the ``*_requested``
 functions directly); worker processes started by :mod:`repro.parallel`
@@ -23,9 +28,12 @@ from functools import lru_cache
 __all__ = [
     "SCALAR_COVER_ENV",
     "FULL_SIM_ENV",
+    "BACKEND_ENV",
+    "BACKENDS",
     "flag_enabled",
     "scalar_cover_requested",
     "full_sim_requested",
+    "simulation_backend",
     "reset",
 ]
 
@@ -35,6 +43,12 @@ SCALAR_COVER_ENV = "REPRO_SCALAR_COVER"
 #: Force the justifier to simulate the whole netlist (no cone restriction).
 FULL_SIM_ENV = "REPRO_FULL_SIM"
 
+#: Select the simulation backend ("numpy" or "packed").
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Implemented backends, in preference order.  "native" is reserved.
+BACKENDS = ("numpy", "packed")
+
 _TRUTHY = ("1", "true", "yes", "on")
 
 
@@ -42,6 +56,11 @@ _TRUTHY = ("1", "true", "yes", "on")
 def flag_enabled(name: str) -> bool:
     """Truthiness of environment variable ``name``, cached per process."""
     return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+@lru_cache(maxsize=None)
+def _env_value(name: str) -> str:
+    return os.environ.get(name, "").strip().lower()
 
 
 def scalar_cover_requested() -> bool:
@@ -54,6 +73,29 @@ def full_sim_requested() -> bool:
     return flag_enabled(FULL_SIM_ENV)
 
 
+def simulation_backend() -> str:
+    """The ``REPRO_BACKEND`` selection, validated ("numpy" when unset).
+
+    ``native`` is a documented stub: the seam reserves the name for a
+    compiled (C/SIMD) kernel so scripts can already spell the request, but
+    selecting it raises :class:`NotImplementedError` until it exists.
+    Unknown names raise :class:`ValueError` -- a typo must not silently
+    fall back to the default backend.
+    """
+    raw = _env_value(BACKEND_ENV)
+    if not raw:
+        return "numpy"
+    if raw == "native":
+        raise NotImplementedError(
+            f"{BACKEND_ENV}=native is reserved for a future compiled backend; "
+            f"use one of {BACKENDS}"
+        )
+    if raw not in BACKENDS:
+        raise ValueError(f"unknown {BACKEND_ENV}={raw!r}; expected one of {BACKENDS}")
+    return raw
+
+
 def reset() -> None:
     """Drop the cached snapshots (tests re-read the environment after this)."""
     flag_enabled.cache_clear()
+    _env_value.cache_clear()

@@ -407,8 +407,12 @@ def run_all(
         by_circuit: dict[str, list] = {name: [] for name in ordered}
         for result in runner.run(shard_jobs, checkpoint=checkpoint):
             by_circuit[result.circuit].append(result)
+        # Re-apply the *parent* abort cap at merge time: shard-local
+        # shares are floored at 1, so their sum may exceed it.
+        abort_limit = engine.budget.abort_limit if engine.budget else None
         merged = {
-            name: merge_shard_results(by_circuit[name]) for name in ordered
+            name: merge_shard_results(by_circuit[name], abort_limit=abort_limit)
+            for name in ordered
         }
         basic = {name: merged[name][0] for name in basic_names}
         table6 = [merged[name][1] for name in table6_names]

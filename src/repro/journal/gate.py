@@ -24,20 +24,65 @@ Two gating modes:
 Metrics with fewer than ``min_history`` prior values are ``skipped``
 (reported, never failed): a brand-new benchmark cannot regress against
 a history it does not have.
+
+History is additionally **partitioned by machine fingerprint** before
+the median: wall clocks from heterogeneous machines are not one series,
+so a fast CI runner's history must not spuriously fail a slower
+laptop (nor vice versa).  A candidate is only ever compared against
+prior entries whose ``machine`` matches its own
+(:func:`machine_key`); when the current machine has too few same-machine
+entries the metric falls back to ``skipped``-under-``min_history``,
+exactly like a brand-new benchmark.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from statistics import median
 from typing import Mapping, Sequence
 
-__all__ = ["GateFinding", "GateReport", "gate_candidate", "gate_trajectory"]
+from .schema import machine_fingerprint
+
+__all__ = [
+    "GateFinding",
+    "GateReport",
+    "gate_candidate",
+    "gate_trajectory",
+    "machine_key",
+    "machine_label",
+]
 
 #: Defaults shared by the CLI and ``bench_compare --journal-gate``.
 DEFAULT_WINDOW = 5
 DEFAULT_TOLERANCE = 0.25
 DEFAULT_MIN_HISTORY = 1
+
+#: The fingerprint fields that identify a measuring host (what
+#: ``schema.machine_fingerprint`` records).  Extra keys an entry's
+#: ``machine`` may carry do not split the partition.
+_MACHINE_FIELDS = ("python", "platform", "cpus")
+
+
+def machine_key(machine: Mapping | None) -> tuple:
+    """Partition key of one entry's ``machine`` fingerprint.
+
+    Entries compare equal when python version, platform and cpu count
+    all match; a missing/malformed fingerprint is its own partition so
+    legacy entries never dilute a real machine's series.
+    """
+    if not isinstance(machine, Mapping):
+        return ("<none>",)
+    return tuple(str(machine.get(name, "")) for name in _MACHINE_FIELDS)
+
+
+def machine_label(machine: Mapping | None) -> str:
+    """Short stable tag for a machine partition (for reports/findings)."""
+    digest = hashlib.sha1(
+        json.dumps(machine_key(machine)).encode()
+    ).hexdigest()[:6]
+    return f"m:{digest}"
 
 
 @dataclass(frozen=True)
@@ -50,20 +95,23 @@ class GateFinding:
     verdict: str  # "ok" | "regression" | "skipped"
     baseline: float | None = None  # median of the window, when gated
     ratio: float | None = None
-    history: int = 0  # prior values available
+    history: int = 0  # prior same-machine values available
     sha: str = ""  # candidate entry's sha ("" for external candidates)
+    machine: str = ""  # partition tag (see machine_label)
 
     def describe(self) -> str:
         where = f" @ {self.sha[:7]}" if self.sha and self.sha != "unknown" else ""
+        partition = f" [{self.machine}]" if self.machine else ""
         if self.verdict == "skipped":
             return (
                 f"{self.kind}/{self.metric}{where}: skipped "
-                f"({self.history} prior value(s); gate needs more history)"
+                f"({self.history} prior value(s){partition}; "
+                f"gate needs more history)"
             )
         assert self.baseline is not None and self.ratio is not None
         return (
             f"{self.kind}/{self.metric}{where}: {self.value:.4g} vs "
-            f"median-of-{self.history} {self.baseline:.4g} "
+            f"median-of-{self.history}{partition} {self.baseline:.4g} "
             f"({self.ratio:.2f}x) {self.verdict.upper()}"
         )
 
@@ -105,6 +153,7 @@ def _gate_metrics(
     tolerance: float,
     min_history: int,
     sha: str = "",
+    machine: str = "",
 ) -> list[GateFinding]:
     findings = []
     for name in sorted(metrics):
@@ -123,6 +172,7 @@ def _gate_metrics(
                     verdict="skipped",
                     history=len(series),
                     sha=sha,
+                    machine=machine,
                 )
             )
             continue
@@ -144,6 +194,7 @@ def _gate_metrics(
                 ratio=ratio,
                 history=len(series),
                 sha=sha,
+                machine=machine,
             )
         )
     return findings
@@ -157,6 +208,7 @@ def gate_candidate(
     window: int = DEFAULT_WINDOW,
     tolerance: float = DEFAULT_TOLERANCE,
     min_history: int = DEFAULT_MIN_HISTORY,
+    machine: Mapping | None = None,
 ) -> GateReport:
     """Gate not-yet-recorded ``metrics`` against the journal's history.
 
@@ -164,8 +216,19 @@ def gate_candidate(
     the fresh measurement is judged before it joins the trajectory (it
     is appended afterwards either way -- a regression is still a fact
     worth recording; the exit code is what blocks the merge).
+
+    ``machine`` is the candidate's fingerprint (defaults to the current
+    host's); only history recorded on the same machine partition is
+    consulted.
     """
-    history = [entry for entry in entries if entry.get("kind") == kind]
+    if machine is None:
+        machine = machine_fingerprint()
+    key = machine_key(machine)
+    history = [
+        entry
+        for entry in entries
+        if entry.get("kind") == kind and machine_key(entry.get("machine")) == key
+    ]
     return GateReport(
         _gate_metrics(
             kind,
@@ -174,6 +237,7 @@ def gate_candidate(
             window=window,
             tolerance=tolerance,
             min_history=min_history,
+            machine=machine_label(machine),
         )
     )
 
@@ -201,15 +265,22 @@ def gate_trajectory(
             if position < 0:
                 continue
             candidate = of_kind[position]
+            key = machine_key(candidate.get("machine"))
+            same_machine = [
+                entry
+                for entry in of_kind[:position]
+                if machine_key(entry.get("machine")) == key
+            ]
             report.findings.extend(
                 _gate_metrics(
                     kind,
                     candidate.get("metrics", {}),
-                    of_kind[:position],
+                    same_machine,
                     window=window,
                     tolerance=tolerance,
                     min_history=min_history,
                     sha=candidate.get("sha", ""),
+                    machine=machine_label(candidate.get("machine")),
                 )
             )
     return report

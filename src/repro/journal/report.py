@@ -4,7 +4,10 @@ One table per entry kind: rows are metric series, columns are the last
 ``last`` recorded runs (newest rightmost), labelled by short sha with
 the recording date underneath.  A ``-`` cell means the run did not
 produce that metric -- retired benchmarks and newly added circuits
-coexist in one table instead of fragmenting the history.
+coexist in one table instead of fragmenting the history.  When the
+shown window mixes machine partitions (see
+:func:`repro.journal.gate.machine_label`) a third header row tags each
+column with its partition, making the gate's per-machine series visible.
 
 This is the longitudinal view the paper's own evaluation implies:
 Tables 5-7 of Pomeranz & Reddy (2002) are only meaningful as trends
@@ -15,6 +18,8 @@ trends across commits.
 from __future__ import annotations
 
 from typing import Sequence
+
+from .gate import machine_label
 
 __all__ = ["format_value", "report_rows", "render_report"]
 
@@ -54,8 +59,13 @@ def report_rows(
     return headers, rows
 
 
-def _render_table(headers: list[str], rows: list[list[str]], dates: list[str]) -> str:
-    table = [headers, dates, *rows]
+def _render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    dates: list[str],
+    machine_row: list[str] | None = None,
+) -> str:
+    table = [headers, dates, *([machine_row] if machine_row else []), *rows]
     widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
 
     def line(cells: Sequence[str]) -> str:
@@ -85,11 +95,17 @@ def render_report(
         shown = of_kind[-last:] if last > 0 else of_kind
         headers, rows = report_rows(of_kind, last=last)
         dates = [""] + [entry.get("ts", "")[:10] for entry in shown]
+        labels = [machine_label(entry.get("machine")) for entry in shown]
+        # The machine row only earns its line when the shown window mixes
+        # partitions -- a single-host journal reads exactly as before.
+        machine_row = [""] + labels if len(set(labels)) > 1 else None
         title = (
             f"run journal -- kind {kind}: {len(of_kind)} entr"
             f"{'y' if len(of_kind) == 1 else 'ies'}"
         )
         if len(of_kind) > len(shown):
             title += f" (showing last {len(shown)})"
-        sections.append(title + "\n" + _render_table(headers, rows, dates))
+        sections.append(
+            title + "\n" + _render_table(headers, rows, dates, machine_row)
+        )
     return "\n\n".join(sections)

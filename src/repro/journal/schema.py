@@ -26,8 +26,8 @@ Entry layout (``v`` = :data:`SCHEMA_VERSION`):
   cost-like quantities here (wall clocks, per-phase seconds, the
   sharded critical-path fraction) -- never throughput or hit rates;
 * ``phases``  -- per-phase runtime breakdown (engine timers / maxima);
-* ``counters``-- abort-taxonomy and robustness counters
-  (``budget.*``, ``parallel.*``, ``checkpoint.*``);
+* ``counters``-- abort-taxonomy, robustness and backend counters
+  (``backend.*``, ``budget.*``, ``parallel.*``, ``checkpoint.*``);
 * ``caches``  -- per-cache ``{hit, miss, rate}`` from ``EngineStats``;
 * ``jobs``    -- per-job/per-shard runner records (key, wall seconds).
 
@@ -70,7 +70,7 @@ _CACHES = ("enumerate", "target_sets", "fault_simulator", "cone")
 
 #: Counter prefixes copied from ``EngineStats`` into ``entry["counters"]``
 #: (the abort taxonomy and the runner's fault-tolerance bookkeeping).
-_COUNTER_PREFIXES = ("budget.", "parallel.", "checkpoint.")
+_COUNTER_PREFIXES = ("backend.", "budget.", "parallel.", "checkpoint.")
 
 
 def validate_entry(entry: object) -> list[str]:
@@ -151,13 +151,24 @@ def utc_now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
-def _base_entry(kind: str, sha: str | None, ts: str | None, machine: dict | None) -> dict:
+def _base_entry(
+    kind: str,
+    sha: str | None,
+    ts: str | None,
+    machine: dict | None,
+    dirty: bool | None = None,
+) -> dict:
+    # ``dirty`` describes the *tree*, not the sha: an explicit sha (or a
+    # REPRO_JOURNAL_SHA override) must not silently launder a modified
+    # working tree into ``dirty: False``.  Callers that genuinely know
+    # better (backfill scripts replaying committed states) pass ``dirty``
+    # explicitly.
     return {
         "v": SCHEMA_VERSION,
         "kind": kind,
         "ts": ts if ts is not None else utc_now(),
         "sha": git_sha() if sha is None else sha,
-        "dirty": git_dirty() if sha is None else False,
+        "dirty": git_dirty() if dirty is None else bool(dirty),
         "machine": machine if machine is not None else machine_fingerprint(),
     }
 
@@ -185,6 +196,7 @@ def tables_entry(
     sha: str | None = None,
     ts: str | None = None,
     machine: dict | None = None,
+    dirty: bool | None = None,
 ) -> dict:
     """Journal entry for one ``tables`` sweep.
 
@@ -195,7 +207,7 @@ def tables_entry(
     Reading ``results``/``stats`` never mutates them: journaling must
     leave the experiment output byte-identical to an unjournaled run.
     """
-    entry = _base_entry("tables", sha, ts, machine)
+    entry = _base_entry("tables", sha, ts, machine, dirty)
     metrics = {"tables.wall_seconds": round(wall_seconds, 6)}
     aborted_basic = aborted_enrich = 0
     for circuit, result in results.basic.items():
@@ -235,6 +247,7 @@ def bench_entry(
     sha: str | None = None,
     ts: str | None = None,
     machine: dict | None = None,
+    dirty: bool | None = None,
 ) -> dict:
     """Journal entry for one ``tools/bench_compare.py`` run.
 
@@ -246,7 +259,7 @@ def bench_entry(
     meta = dict(payload.get("meta", {}))
     if machine is None and {"python", "platform"} <= set(meta):
         machine = {**machine_fingerprint(), **meta}
-    entry = _base_entry("bench", sha, ts, machine)
+    entry = _base_entry("bench", sha, ts, machine, dirty)
     entry["metrics"] = {
         name: float(value) for name, value in payload.get("results", {}).items()
     }

@@ -272,7 +272,11 @@ class _MergedSweep:
     seconds: float = 0.0
 
 
-def _merge_sweep(sweeps: Sequence[ShardSweep], p0_total: int) -> _MergedSweep:
+def _merge_sweep(
+    sweeps: Sequence[ShardSweep],
+    p0_total: int,
+    abort_limit: int | None = None,
+) -> _MergedSweep:
     """Replay per-primary outcomes in canonical pool order.
 
     This is the whole determinism story of the merge: outcomes are sorted
@@ -283,6 +287,16 @@ def _merge_sweep(sweeps: Sequence[ShardSweep], p0_total: int) -> _MergedSweep:
     and an abort verdict for it is moot), otherwise a found test is
     accepted and its detections join ``dead``.  ``P0`` membership is by
     construction ``uid < p0_total`` (the universe is ``P0 + P1``).
+
+    ``abort_limit`` is the *parent* run's cap, enforced here because
+    :meth:`~repro.robustness.Budget.split` cannot express it exactly when
+    ``n`` exceeds the cap (each shard's share is floored at 1, so the
+    shares can sum past it).  Once the replayed abort count reaches the
+    cap, later aborted outcomes are treated like the untargeted primaries
+    of an in-shard abort-limit stop: not counted, not listed.  Found
+    tests are always kept -- each was produced within its shard's own
+    budget, and the classic "too many aborts" policy stops *targeting*,
+    it never discards completed tests.
     """
     all_outcomes = sorted(
         (outcome for sweep in sweeps for outcome in sweep.outcomes),
@@ -302,6 +316,8 @@ def _merge_sweep(sweeps: Sequence[ShardSweep], p0_total: int) -> _MergedSweep:
             merged.tests += 1
             dead.update(outcome.detected)
         elif outcome.status == "aborted":
+            if abort_limit is not None and merged.aborted >= abort_limit:
+                continue
             merged.aborted += 1
             merged.aborted_rows.append(
                 [outcome.fault, 0, outcome.reason, outcome.phase]
@@ -313,6 +329,7 @@ def _merge_sweep(sweeps: Sequence[ShardSweep], p0_total: int) -> _MergedSweep:
 
 def merge_shard_results(
     results: Sequence[ShardJobResult],
+    abort_limit: int | None = None,
 ) -> "tuple[CircuitBasicResult | None, Table6Row | None]":
     """Merge one circuit's shard results into its table rows.
 
@@ -323,6 +340,12 @@ def merge_shard_results(
     shards' sweep clocks (the serial-equivalent cost, mirroring what the
     legacy runtime column measures); all deterministic fields depend only
     on the outcomes, never on the geometry.
+
+    ``abort_limit`` is the parent budget's cap (``Budget.abort_limit``),
+    re-applied across shards so the merged aborted count never exceeds
+    what the user configured even when ``shards`` > ``abort_limit`` made
+    the per-shard shares sum past it (see :meth:`~repro.robustness.
+    Budget.split` and :func:`_merge_sweep`).
     """
     from ..experiments.results import (
         CircuitBasicResult,
@@ -376,7 +399,9 @@ def merge_shard_results(
         )
         for heuristic in first.basic:
             merged = _merge_sweep(
-                [result.basic[heuristic] for result in ordered], p0_total
+                [result.basic[heuristic] for result in ordered],
+                p0_total,
+                abort_limit,
             )
             basic.outcomes[heuristic] = HeuristicOutcome(
                 detected_p0=merged.detected_p0,
@@ -391,6 +416,7 @@ def merge_shard_results(
         merged = _merge_sweep(
             [result.table6 for result in ordered if result.table6 is not None],
             p0_total,
+            abort_limit,
         )
         table6 = Table6Row(
             circuit=first.circuit,

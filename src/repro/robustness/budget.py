@@ -213,7 +213,10 @@ class Budget:
           to the global cap.  Each share is at least 1 (an ``abort_limit``
           of 0 is not expressible), so splitting further than the cap
           (``n`` > ``abort_limit``) is the one case where the combined
-          cap exceeds the configured one;
+          cap exceeds the configured one -- the parent cap is then
+          re-applied when the shards are merged
+          (:func:`repro.parallel.sharding.merge_shard_results` counts
+          aborts across shards against it in canonical pool order);
         * per-fault caps (``node_limit``, ``attempt_limit``,
           ``enumeration_cap``) are copied unchanged -- they bound each
           fault individually, which keeps a fault's verdict independent

@@ -37,6 +37,7 @@ from ..algebra.ternary import FROM_ORD, ONE, TO_ORD, X, ZERO
 from ..algebra.triple import Triple
 from ..circuit.analysis import input_cone
 from ..circuit.netlist import GateType, Netlist
+from ..envflags import BACKENDS, simulation_backend
 
 __all__ = ["BatchSimulator", "ConeSimulator", "LRU_CACHE_SIZE"]
 
@@ -203,13 +204,25 @@ class BatchSimulator:
     and reuse (compilation walks the whole circuit).
     """
 
-    def __init__(self, netlist: Netlist, stats=None) -> None:
+    def __init__(self, netlist: Netlist, stats=None, backend: str | None = None) -> None:
         """``stats`` is an optional EngineStats-compatible sink (anything
         with ``count(name, n)``); when set, every ``run_codes`` call records
         ``batch.runs`` and ``batch.columns``, and :meth:`restricted` records
-        ``cone.hit`` / ``cone.miss`` / ``cone.compile``."""
+        ``cone.hit`` / ``cone.miss`` / ``cone.compile``.
+
+        ``backend`` selects the cone-screening kernel ("numpy" or
+        "packed"); ``None`` snapshots :func:`repro.envflags.simulation_backend`
+        (the ``REPRO_BACKEND`` seam).  The full-netlist entry points below
+        always run the numpy kernel -- the packed backend only changes what
+        :meth:`restricted` hands to the justifier.
+        """
         self.netlist = netlist
         self.stats = stats
+        self.backend = simulation_backend() if backend is None else backend
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
         self.n_nodes = len(netlist)
         self.pi_index = np.array(netlist.input_indices, dtype=np.int64)
         self._pi_pos = {int(node): row for row, node in enumerate(self.pi_index)}
@@ -243,7 +256,7 @@ class BatchSimulator:
             self._cone_by_seed.move_to_end(key)
             if self.stats is not None:
                 self.stats.count("cone.hit")
-            return cone_sim
+            return self._dispatch(cone_sim)
         if self.stats is not None:
             self.stats.count("cone.miss")
         cone_key = frozenset(input_cone(self.netlist, key))
@@ -260,7 +273,25 @@ class BatchSimulator:
         self._cone_by_seed[key] = cone_sim
         while len(self._cone_by_seed) > LRU_CACHE_SIZE:
             self._cone_by_seed.popitem(last=False)
-        return cone_sim
+        return self._dispatch(cone_sim)
+
+    def _dispatch(self, cone_sim: "ConeSimulator"):
+        """Wrap a cached cone in the selected backend's simulator.
+
+        The packed twin shares the cone's compiled levels and is cached on
+        the cone itself, so its lifetime follows the cone LRU entries.
+        """
+        if self.backend != "packed":
+            return cone_sim
+        packed = getattr(cone_sim, "_packed_twin", None)
+        if packed is None:
+            from .packed import PackedConeSimulator
+
+            packed = PackedConeSimulator(cone_sim)
+            cone_sim._packed_twin = packed
+            if self.stats is not None:
+                self.stats.count("backend.packed.cones")
+        return packed
 
     def run_codes(self, pi_codes: np.ndarray) -> np.ndarray:
         """Simulate from raw ternary codes.

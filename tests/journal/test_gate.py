@@ -1,13 +1,33 @@
-"""Trajectory-gate semantics: tolerance boundary, windowing, history."""
+"""Trajectory-gate semantics: tolerance, windowing, machine partitions."""
 
 from repro.journal import gate_candidate, gate_trajectory
+from repro.journal.gate import machine_key, machine_label
+from repro.journal.schema import machine_fingerprint
 
 from .test_schema import minimal_entry
 
+#: The fingerprint ``minimal_entry`` stamps on synthetic history.  The
+#: gate partitions by machine, so candidate metrics must be presented as
+#: coming from this machine to be judged against that history.
+TEST_MACHINE = {"python": "3.11.7", "platform": "Linux-test"}
 
-def history(values, kind="bench", metric="m"):
+#: A second, distinct host for the partition tests.
+OTHER_MACHINE = {"python": "3.12.1", "platform": "Darwin-test", "cpus": 8}
+
+
+def gate(entries, kind, metrics, **kwargs):
+    kwargs.setdefault("machine", TEST_MACHINE)
+    return gate_candidate(entries, kind, metrics, **kwargs)
+
+
+def history(values, kind="bench", metric="m", machine=None, start=0):
     return [
-        minimal_entry(kind=kind, sha=f"{i:040x}", metrics={metric: value})
+        minimal_entry(
+            kind=kind,
+            sha=f"{start + i:040x}",
+            metrics={metric: value},
+            **({} if machine is None else {"machine": machine}),
+        )
         for i, value in enumerate(values)
     ]
 
@@ -20,12 +40,12 @@ def finding(report, metric="m"):
 class TestToleranceBoundary:
     def test_exactly_at_tolerance_is_ok(self):
         # ratio == 1 + tolerance must NOT regress: the bound is strict.
-        report = gate_candidate(history([1.0]), "bench", {"m": 1.25}, tolerance=0.25)
+        report = gate(history([1.0]), "bench", {"m": 1.25}, tolerance=0.25)
         assert finding(report).verdict == "ok"
         assert report.ok
 
     def test_just_above_tolerance_regresses(self):
-        report = gate_candidate(history([1.0]), "bench", {"m": 1.2501}, tolerance=0.25)
+        report = gate(history([1.0]), "bench", {"m": 1.2501}, tolerance=0.25)
         one = finding(report)
         assert one.verdict == "regression"
         assert one.baseline == 1.0
@@ -33,17 +53,17 @@ class TestToleranceBoundary:
 
     def test_twice_as_slow_always_regresses_at_default_tolerance(self):
         """The CI acceptance scenario: a synthetic 2x slowdown is caught."""
-        report = gate_candidate(history([0.5, 0.4, 0.6]), "bench", {"m": 1.0})
+        report = gate(history([0.5, 0.4, 0.6]), "bench", {"m": 1.0})
         assert finding(report).verdict == "regression"
 
     def test_improvement_is_ok(self):
-        report = gate_candidate(history([1.0]), "bench", {"m": 0.2})
+        report = gate(history([1.0]), "bench", {"m": 0.2})
         assert finding(report).verdict == "ok"
 
 
 class TestWindowAndHistory:
     def test_no_history_is_skipped_not_failed(self):
-        report = gate_candidate([], "bench", {"m": 99.0})
+        report = gate([], "bench", {"m": 99.0})
         one = finding(report)
         assert one.verdict == "skipped"
         assert one.history == 0
@@ -51,11 +71,11 @@ class TestWindowAndHistory:
         assert report.gated == 0
 
     def test_min_history_raises_the_bar(self):
-        report = gate_candidate(history([1.0]), "bench", {"m": 9.0}, min_history=2)
+        report = gate(history([1.0]), "bench", {"m": 9.0}, min_history=2)
         assert finding(report).verdict == "skipped"
 
     def test_baseline_is_median_of_window(self):
-        report = gate_candidate(
+        report = gate(
             history([10.0, 1.0, 2.0, 3.0]), "bench", {"m": 3.0}, window=3
         )
         one = finding(report)
@@ -66,13 +86,13 @@ class TestWindowAndHistory:
         assert one.verdict == "regression"
 
     def test_median_resists_one_outlier_inside_window(self):
-        report = gate_candidate(history([1.0, 1.0, 100.0]), "bench", {"m": 1.1})
+        report = gate(history([1.0, 1.0, 100.0]), "bench", {"m": 1.1})
         assert finding(report).baseline == 1.0
         assert finding(report).verdict == "ok"
 
     def test_series_are_per_metric_and_per_kind(self):
         entries = history([1.0], kind="tables") + history([5.0], kind="bench")
-        report = gate_candidate(entries, "bench", {"m": 5.5})
+        report = gate(entries, "bench", {"m": 5.5})
         one = finding(report)
         # The tables entry must not dilute the bench series.
         assert one.history == 1
@@ -82,17 +102,17 @@ class TestWindowAndHistory:
         entries = history([1.0]) + [
             minimal_entry(kind="bench", metrics={"other": 2.0})
         ]
-        report = gate_candidate(entries, "bench", {"m": 1.0})
+        report = gate(entries, "bench", {"m": 1.0})
         assert finding(report).history == 1
 
 
 class TestZeroBaseline:
     def test_zero_history_zero_candidate_is_ok(self):
-        report = gate_candidate(history([0.0]), "bench", {"m": 0.0})
+        report = gate(history([0.0]), "bench", {"m": 0.0})
         assert finding(report).verdict == "ok"
 
     def test_zero_history_positive_candidate_regresses(self):
-        report = gate_candidate(history([0.0]), "bench", {"m": 0.001})
+        report = gate(history([0.0]), "bench", {"m": 0.001})
         one = finding(report)
         assert one.ratio == float("inf")
         assert one.verdict == "regression"
@@ -151,3 +171,98 @@ class TestReportFormatting:
         text = finding(report).describe()
         assert "@ 0000000" in text
         assert "(2.00x)" in text
+
+    def test_describe_mentions_machine_partition(self):
+        report = gate(history([1.0]), "bench", {"m": 1.0})
+        assert f"[{machine_label(TEST_MACHINE)}]" in finding(report).describe()
+
+
+class TestMachinePartition:
+    """The two-machine scenario the gate exists to get right."""
+
+    def two_machine_history(self):
+        # Fast CI runner (TEST_MACHINE) around 1.0s, slow laptop
+        # (OTHER_MACHINE) around 10.0s.
+        return history([1.0, 1.1, 0.9]) + history(
+            [10.0, 10.5, 9.8], machine=OTHER_MACHINE, start=3
+        )
+
+    def test_candidate_judged_only_against_its_own_machine(self):
+        entries = self.two_machine_history()
+        # 1.05s on the fast runner is fine even though the mixed median
+        # would make it look like a huge improvement ...
+        fast = gate(entries, "bench", {"m": 1.05})
+        assert finding(fast).verdict == "ok"
+        assert finding(fast).baseline == 1.0
+        assert finding(fast).history == 3
+        # ... and 2.0s on the fast runner regresses even though it beats
+        # every laptop measurement.
+        assert finding(gate(entries, "bench", {"m": 2.0})).verdict == "regression"
+
+    def test_slow_machine_not_failed_by_fast_history(self):
+        entries = self.two_machine_history()
+        slow = gate(entries, "bench", {"m": 10.2}, machine=OTHER_MACHINE)
+        one = finding(slow)
+        assert one.verdict == "ok"
+        assert one.baseline == 10.0
+        assert one.machine == machine_label(OTHER_MACHINE)
+
+    def test_unseen_machine_falls_back_to_skipped(self):
+        entries = self.two_machine_history()
+        report = gate(
+            entries,
+            "bench",
+            {"m": 50.0},
+            machine={"python": "3.13.0", "platform": "Windows-test"},
+        )
+        one = finding(report)
+        assert one.verdict == "skipped"
+        assert one.history == 0
+        assert report.ok
+
+    def test_default_machine_is_current_fingerprint(self):
+        # Without an explicit machine the gate compares against entries
+        # recorded on *this* host -- which the synthetic history is not.
+        entries = history([1.0])
+        assert finding(gate_candidate(entries, "bench", {"m": 9.0})).verdict == (
+            "skipped"
+        )
+        mine = history([1.0], machine=machine_fingerprint())
+        assert (
+            finding(gate_candidate(mine, "bench", {"m": 9.0})).verdict
+            == "regression"
+        )
+
+    def test_extra_machine_keys_do_not_split_the_partition(self):
+        decorated = {**TEST_MACHINE, "hostname": "runner-17"}
+        assert machine_key(decorated) == machine_key(TEST_MACHINE)
+        entries = history([1.0], machine=decorated)
+        assert finding(gate(entries, "bench", {"m": 1.0})).history == 1
+
+    def test_trajectory_partitions_interleaved_machines(self):
+        # Interleave the two hosts; replaying the whole journal must
+        # judge each entry against its own machine's series only, so a
+        # laptop entry after a runner entry is skipped (no history), not
+        # flagged as a 10x regression.
+        entries = [
+            history([1.0])[0],
+            history([10.0], machine=OTHER_MACHINE, start=1)[0],
+            history([1.1], start=2)[0],
+            history([10.4], machine=OTHER_MACHINE, start=3)[0],
+        ]
+        replay = gate_trajectory(entries, gate_all=True)
+        assert replay.ok
+        verdicts = [(f.machine, f.verdict, f.history) for f in replay.findings]
+        assert verdicts == [
+            (machine_label(OTHER_MACHINE), "skipped", 0),
+            (machine_label(TEST_MACHINE), "ok", 1),
+            (machine_label(OTHER_MACHINE), "ok", 1),
+        ]
+
+    def test_malformed_machine_is_its_own_partition(self):
+        entries = history([1.0]) + [
+            minimal_entry(kind="bench", sha="b" * 40, metrics={"m": 3.0})
+        ]
+        entries[-1]["machine"] = None
+        report = gate_trajectory(entries)
+        assert finding(report).verdict == "skipped"

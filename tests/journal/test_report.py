@@ -69,3 +69,17 @@ def test_render_report_notes_truncation():
     entries = [entry(f"{i:040x}", {"m": float(i)}) for i in range(4)]
     text = render_report(entries, last=2)
     assert "(showing last 2)" in text
+
+
+def test_machine_row_only_when_partitions_mix():
+    from repro.journal.gate import machine_label
+
+    one = entry("a" * 40, {"m": 1.0})
+    other = entry("b" * 40, {"m": 9.0})
+    other["machine"] = {"python": "3.12.1", "platform": "Darwin-test"}
+    # Homogeneous window: no machine row (single-host journals read as before).
+    assert machine_label(one["machine"]) not in render_report([one])
+    # Mixed window: each column is tagged with its partition label.
+    text = render_report([one, other])
+    assert machine_label(one["machine"]) in text
+    assert machine_label(other["machine"]) in text

@@ -193,6 +193,31 @@ class TestBuilders:
         entry = make_bench_entry({"results": {"x": 1.0}})
         assert entry["sha"] == "cafe" * 10
 
+    def test_explicit_sha_still_records_real_dirtiness(self, monkeypatch):
+        # Passing a sha pins *which commit* was measured; it must not
+        # also claim the tree was clean when it was not.
+        monkeypatch.setattr("repro.journal.schema.git_dirty", lambda cwd=None: True)
+        entry = make_bench_entry({"results": {"x": 1.0}}, sha="e" * 40)
+        assert entry["dirty"] is True
+
+    def test_sha_env_override_on_dirty_tree_is_dirty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "cafe" * 10)
+        monkeypatch.setattr("repro.journal.schema.git_dirty", lambda cwd=None: True)
+        entry = make_bench_entry({"results": {"x": 1.0}})
+        assert entry["sha"] == "cafe" * 10
+        assert entry["dirty"] is True
+
+    def test_explicit_dirty_wins_over_probe(self, monkeypatch):
+        monkeypatch.setattr("repro.journal.schema.git_dirty", lambda cwd=None: True)
+        entry = make_bench_entry({"results": {"x": 1.0}}, sha="e" * 40, dirty=False)
+        assert entry["dirty"] is False
+
+    def test_backend_counters_are_journaled(self):
+        stats = EngineStats()
+        stats.count("backend.packed.runs", 7)
+        entry = tables_entry(sample_results(), stats, wall_seconds=1.0, sha="f" * 40)
+        assert entry["counters"]["backend.packed.runs"] == 7
+
 
 class TestRoundTrip:
     def test_write_read_report(self, tmp_path):

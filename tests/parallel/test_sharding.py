@@ -152,6 +152,55 @@ class TestMergeSemantics:
         assert outcome.tests == 1
         assert outcome.aborted == 1  # uid 1 was already dead; only uid 2 counts
 
+    def test_global_abort_cap_enforced_at_merge(self):
+        # Budget.split floors every share at 1, so 4 shards under
+        # abort_limit=2 may abort up to 4 faults together.  The merge
+        # re-applies the parent cap: only the first two aborts in
+        # canonical pool order are counted and listed.
+        shards = [
+            _shard_result(
+                i,
+                4,
+                [_outcome(i, i, status="aborted", reason="node_limit",
+                          phase="justify")],
+            )
+            for i in range(4)
+        ]
+        basic, _ = merge_shard_results(shards, abort_limit=2)
+        outcome = basic.outcomes["values"]
+        assert outcome.aborted == 2
+
+    def test_abort_cap_truncates_table6_rows_in_pool_order(self):
+        shards = []
+        for i in range(3):
+            shard = _shard_result(i, 3, [], p0_total=3)
+            shard.basic = {}
+            shard.table6 = ShardSweep(
+                outcomes=[
+                    _outcome(i, i, status="aborted", reason="node_limit",
+                             phase="justify")
+                ],
+                seconds=0.1,
+            )
+            shards.append(shard)
+        _, table6 = merge_shard_results(shards[::-1], abort_limit=2)
+        assert table6.aborted == 2
+        assert [row[0] for row in table6.aborted_faults] == ["f0", "f1"]
+
+    def test_no_cap_keeps_every_abort(self):
+        shards = [
+            _shard_result(
+                i,
+                3,
+                [_outcome(i, i, status="aborted", reason="node_limit",
+                          phase="justify")],
+                p0_total=3,
+            )
+            for i in range(3)
+        ]
+        basic, _ = merge_shard_results(shards)
+        assert basic.outcomes["values"].aborted == 3
+
     def test_duplicate_index_rejected(self):
         a = _shard_result(0, 2, [_outcome(0, 0), _outcome(1, 1)])
         b = _shard_result(1, 2, [_outcome(1, 1), _outcome(2, 2),

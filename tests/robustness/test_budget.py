@@ -135,6 +135,15 @@ class TestSplit:
         shares = Budget(abort_limit=2).split(4)
         assert all(s.abort_limit >= 1 for s in shares)
 
+    def test_oversplit_shares_sum_past_cap(self):
+        # The documented leak of the >=1 floor: 4 shards under a cap of 2
+        # may together abort 4 faults.  The merge re-applies the parent
+        # cap (see merge_shard_results), so split itself is allowed to
+        # hand out the extra headroom.
+        shares = Budget(abort_limit=2).split(4)
+        assert [s.abort_limit for s in shares] == [1, 1, 1, 1]
+        assert sum(s.abort_limit for s in shares) > 2
+
     def test_per_fault_caps_copied_unchanged(self):
         budget = Budget(node_limit=9, attempt_limit=3, enumeration_cap=50)
         for share in budget.split(3):

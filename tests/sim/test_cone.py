@@ -108,7 +108,9 @@ class TestConeEquivalence:
         assert cone_sim.n_nodes == len(expected)
 
     def test_localize_roundtrip(self, s27):
-        full = BatchSimulator(s27)
+        # ConeSimulator-specific contract: local rows index cone.nodes.
+        # (The packed twin's localize maps further, into plan rows.)
+        full = BatchSimulator(s27, backend="numpy")
         seeds = [s27.output_indices[0], s27.output_indices[1]]
         cone_sim = full.restricted(seeds)
         from repro.algebra.triple import Triple

@@ -14,6 +14,13 @@ covering kernel attack):
   P0 justifications on the cone-restricted vs the full-netlist kernel
   (the inner loop PR 4 optimizes; see benchmarks/bench_justify_cone.py).
 
+``--packed`` switches to the simulation-backend entries (gated against
+``benchmarks/BENCH_PR8.json``): the PR 4 cone-justification sample run
+on the ``packed`` bit-parallel {0,1,x} kernel (``justify_cone_packed``)
+and on the ``numpy`` reference (``justify_cone_numpy``), so the
+committed file documents the packed speedup and CI notices either
+backend drifting.
+
 ``--sharded`` switches to the intra-circuit fault-sharding entries
 (gated against ``benchmarks/BENCH_PR6.json``), measured on the
 ``s1423_proxy`` values run at the default scale with 4 shards:
@@ -159,6 +166,52 @@ def bench_justify_cone(repeats: int) -> dict[str, float]:
     return results
 
 
+def bench_justify_packed(repeats: int) -> dict[str, float]:
+    """The PR 4 justification sample, once per simulation backend.
+
+    Same circuit, sample and RNG recipe as :func:`bench_justify_cone`
+    (so ``justify_cone_numpy`` is directly comparable to the committed
+    ``justify_cone`` series), with the backend selected explicitly
+    instead of via ``REPRO_BACKEND``.
+    """
+    import random
+
+    from repro.atpg.justify import Justifier
+    from repro.atpg.requirements import RequirementSet
+    from repro.engine import Engine
+    from repro.experiments import get_scale
+    from repro.sim.batch import BatchSimulator
+
+    scale = get_scale("default")
+    engine = Engine()
+    session = engine.session("s641_proxy")
+    targets = session.target_sets(
+        max_faults=scale.max_faults, p0_min_faults=scale.p0_min_faults
+    )
+    sample = [
+        RequirementSet(record.sens.requirements) for record in targets.p0[:40]
+    ]
+
+    def justify_all(justifier):
+        rng = random.Random(scale.seed)
+        for requirements in sample:
+            justifier.justify(requirements, rng)
+
+    results = {}
+    for name, backend in (
+        ("justify_cone_numpy", "numpy"),
+        ("justify_cone_packed", "packed"),
+    ):
+        justifier = Justifier(
+            session.netlist,
+            simulator=BatchSimulator(session.netlist, backend=backend),
+            use_cones=True,
+        )
+        justify_all(justifier)  # warm the cone/support caches
+        results[name] = best_of(repeats, lambda: justify_all(justifier))
+    return results
+
+
 def bench_sharded(repeats: int) -> dict[str, float]:
     from repro.engine import Engine
     from repro.experiments import get_scale
@@ -208,9 +261,11 @@ def bench_sharded(repeats: int) -> dict[str, float]:
     }
 
 
-def run_benches(repeats: int, sharded: bool = False) -> dict:
+def run_benches(repeats: int, sharded: bool = False, packed: bool = False) -> dict:
     if sharded:
         results = bench_sharded(repeats)
+    elif packed:
+        results = bench_justify_packed(max(1, repeats // 2))
     else:
         results = {"tables_s27": bench_tables_s27(max(1, repeats // 3))}
         results.update(bench_detection_matrix(repeats))
@@ -273,7 +328,13 @@ def journal_run(
         bench_entry(
             current,
             config={
+                "mode": (
+                    "sharded"
+                    if args.sharded
+                    else "packed" if args.packed else "default"
+                ),
                 "sharded": bool(args.sharded),
+                "packed": bool(args.packed),
                 "repeats": args.repeats,
                 "max_regression": args.max_regression,
                 "update_baseline": bool(args.update_baseline),
@@ -322,16 +383,25 @@ def main(argv: list[str] | None = None) -> int:
         "default set (defaults --out/--baseline to BENCH_PR6.json)",
     )
     parser.add_argument(
+        "--packed",
+        action="store_true",
+        help="run the simulation-backend entries (numpy vs packed cone "
+        "justification) instead of the default set "
+        "(defaults --out/--baseline to BENCH_PR8.json)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="where to write this run's numbers "
-        "(default: BENCH_PR4.json, or BENCH_PR6.json with --sharded)",
+        "(default: BENCH_PR4.json; BENCH_PR6.json with --sharded; "
+        "BENCH_PR8.json with --packed)",
     )
     parser.add_argument(
         "--baseline",
         default=None,
         help="committed baseline to compare against ('' disables comparison; "
-        "default: benchmarks/BENCH_PR4.json, or BENCH_PR6.json with --sharded)",
+        "default: benchmarks/BENCH_PR4.json, or the --sharded/--packed "
+        "equivalent)",
     )
     parser.add_argument(
         "--max-regression",
@@ -366,13 +436,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.journal_gate and not args.journal:
         parser.error("--journal-gate requires --journal")
-    default_name = "BENCH_PR6.json" if args.sharded else "BENCH_PR4.json"
+    if args.sharded and args.packed:
+        parser.error("--sharded and --packed are separate suites; pick one")
+    if args.sharded:
+        default_name = "BENCH_PR6.json"
+    elif args.packed:
+        default_name = "BENCH_PR8.json"
+    else:
+        default_name = "BENCH_PR4.json"
     if args.out is None:
         args.out = default_name
     if args.baseline is None:
         args.baseline = str(REPO_ROOT / "benchmarks" / default_name)
 
-    current = run_benches(args.repeats, sharded=args.sharded)
+    current = run_benches(args.repeats, sharded=args.sharded, packed=args.packed)
     out_path = Path(args.out)
     out_path.write_text(json.dumps(current, indent=1) + "\n")
     print(f"wrote {out_path}")
