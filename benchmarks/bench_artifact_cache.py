@@ -1,0 +1,83 @@
+"""Cold session build vs warm artifact-store load (PR 9's tentpole).
+
+Builds the ``s1423_proxy`` enumeration + target sets from a fresh engine
+twice: once against an empty :class:`repro.artifacts.ArtifactStore`
+(cold -- full compute, then publish) and once against a pre-seeded one
+(warm -- both artifacts load from disk and the fault records are
+re-sensitized).  The warm round must be the ``artifact.hit`` path, and
+the loaded target sets are asserted identical to a cold build: same
+fault identities in the same order, same requirement sets, same table.
+
+The default-scale ratio that gates the tentpole ( warm / cold <= 0.2,
+i.e. >= 5x ) lives in ``tools/bench_compare.py --cached`` against
+``benchmarks/BENCH_PR9.json``; these rounds track the same two paths at
+the harness's smoke scale.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.engine import Engine
+
+CIRCUIT = "s1423_proxy"
+
+
+def _build(store, scale):
+    engine = Engine(artifacts=store)
+    session = engine.session(CIRCUIT)
+    session.enumeration(scale.max_faults)
+    targets = session.target_sets(
+        max_faults=scale.max_faults, p0_min_faults=scale.p0_min_faults
+    )
+    return engine, targets
+
+
+def bench_artifact_cold(benchmark, smoke_scale):
+    """Empty store every iteration: compute + publish."""
+    dirs = []
+
+    def cold_build():
+        directory = tempfile.mkdtemp(prefix="bench-artifact-cold-")
+        dirs.append(directory)
+        return _build(ArtifactStore(directory), smoke_scale)
+
+    try:
+        engine, _ = benchmark(cold_build)
+    finally:
+        for directory in dirs:
+            shutil.rmtree(directory, ignore_errors=True)
+    assert engine.stats.counter("artifact.hit") == 0
+    assert engine.stats.counter("artifact.write") == 2
+
+
+def bench_artifact_warm(benchmark, smoke_scale):
+    """Pre-seeded store: both artifacts load instead of recomputing."""
+    directory = tempfile.mkdtemp(prefix="bench-artifact-warm-")
+    try:
+        store = ArtifactStore(directory)
+        _, reference = _build(store, smoke_scale)
+
+        engine, targets = benchmark(_build, ArtifactStore(directory), smoke_scale)
+
+        assert engine.stats.counter("artifact.hit") == 2
+        assert engine.stats.counter("artifact.corrupt") == 0
+        assert [r.fault.key() for r in targets.all_records] == [
+            r.fault.key() for r in reference.all_records
+        ]
+        assert all(
+            ours.sens.requirements == theirs.sens.requirements
+            for ours, theirs in zip(targets.all_records, reference.all_records)
+        )
+        assert targets.summary() == reference.summary()
+        assert tuple(targets.length_table) == tuple(reference.length_table)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        pytest.main([__file__, "--benchmark-only", "-q"])
+    )

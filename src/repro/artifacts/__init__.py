@@ -1,0 +1,37 @@
+"""Content-addressed persistent artifact cache (see ``store`` module)."""
+
+from .payloads import (
+    load_enumeration,
+    load_target_sets,
+    pack_enumeration,
+    pack_target_sets,
+    publish_enumeration,
+    publish_target_sets,
+    unpack_enumeration,
+    unpack_target_sets,
+)
+from .store import (
+    PAYLOAD_VERSION,
+    ArtifactEntry,
+    ArtifactStore,
+    artifact_key,
+    netlist_canonical_form,
+    netlist_digest,
+)
+
+__all__ = [
+    "PAYLOAD_VERSION",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "artifact_key",
+    "netlist_canonical_form",
+    "netlist_digest",
+    "pack_enumeration",
+    "unpack_enumeration",
+    "pack_target_sets",
+    "unpack_target_sets",
+    "load_enumeration",
+    "publish_enumeration",
+    "load_target_sets",
+    "publish_target_sets",
+]

@@ -1,0 +1,313 @@
+"""Binary payload codecs for the persistent artifact store.
+
+Two artifact kinds are persisted (the two expensive products of a
+:class:`~repro.engine.session.CircuitSession`):
+
+``enumeration``
+    An :class:`~repro.paths.enumerate.EnumerationResult`.  Paths are
+    stored as one flat ``int32`` node-index array plus a per-path length
+    array (node indices are dense declaration-order indices, which is
+    exactly what the content key's canonical netlist form pins down);
+    the scalar diagnostics ride in the metadata payload.
+
+``target_sets``
+    A :class:`~repro.faults.universe.TargetSets`.  Only the fault
+    *identities* are stored -- path nodes plus a transition flag per
+    record, in ``P0``/``P1`` order.  Sensitization requirement sets are
+    recomputed on load with :func:`~repro.faults.conditions.sensitize`
+    (a cheap deterministic pure function of netlist + fault + mode) and
+    the length table is rebuilt from the fault population, so the
+    reconstructed object is field-for-field identical to a cold build
+    without serializing any compiled structure.
+
+Only *unbudgeted, complete* artifacts are ever published: a payload with
+``budget_exhausted`` set depends on wall clock and must not be replayed.
+The :func:`load_*` / :func:`publish_*` helpers wrap the store protocol
+for the session layer; loads that decode but cannot be reconstructed
+count as ``artifact.corrupt`` misses, and publish failures (full disk,
+read-only store) are swallowed -- the cache is best-effort by contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..faults.fault import PathDelayFault, Transition
+from ..faults.path import Path
+from ..faults.universe import FaultRecord, TargetSets
+from .store import ArtifactStore, netlist_digest
+
+if TYPE_CHECKING:
+    from ..circuit.netlist import Netlist
+    from ..paths.enumerate import EnumerationResult
+
+__all__ = [
+    "pack_enumeration",
+    "unpack_enumeration",
+    "pack_target_sets",
+    "unpack_target_sets",
+    "load_enumeration",
+    "publish_enumeration",
+    "load_target_sets",
+    "publish_target_sets",
+]
+
+_TRANSITIONS = (Transition.RISE, Transition.FALL)
+
+
+def _pack_paths(paths) -> dict[str, np.ndarray]:
+    """Flat node-index + per-path length arrays for a path sequence."""
+    lengths = np.array([len(path.nodes) for path in paths], dtype=np.int32)
+    flat = [node for path in paths for node in path.nodes]
+    return {
+        "lengths": lengths,
+        "nodes": np.array(flat, dtype=np.int32),
+    }
+
+
+def _unpack_paths(arrays, prefix: str = "") -> list[Path]:
+    lengths = arrays[f"{prefix}lengths"]
+    nodes = arrays[f"{prefix}nodes"].tolist()  # plain ints: Path identity
+    if len(nodes) != int(lengths.sum()):
+        raise ValueError("path arrays disagree on total node count")
+    paths = []
+    offset = 0
+    for length in lengths.tolist():
+        if length < 1:
+            raise ValueError("a stored path needs at least one node")
+        paths.append(Path(nodes[offset : offset + length]))
+        offset += length
+    return paths
+
+
+def pack_enumeration(result: "EnumerationResult"):
+    """``(arrays, payload)`` for one enumeration result."""
+    payload = {
+        "cap_hit": result.cap_hit,
+        "expansions": result.expansions,
+        "pruned_complete": result.pruned_complete,
+        "pruned_partial": result.pruned_partial,
+        "min_kept_length": result.min_kept_length,
+        "max_kept_length": result.max_kept_length,
+    }
+    return _pack_paths(result.paths), payload
+
+
+def unpack_enumeration(payload, arrays) -> "EnumerationResult":
+    """Rebuild an :class:`EnumerationResult` from its stored form."""
+    from ..paths.enumerate import EnumerationResult
+
+    return EnumerationResult(
+        paths=_unpack_paths(arrays),
+        cap_hit=bool(payload["cap_hit"]),
+        expansions=int(payload["expansions"]),
+        pruned_complete=int(payload["pruned_complete"]),
+        pruned_partial=int(payload["pruned_partial"]),
+        min_kept_length=int(payload["min_kept_length"]),
+        max_kept_length=int(payload["max_kept_length"]),
+        budget_exhausted=None,
+    )
+
+
+def _pack_records(records) -> tuple[dict[str, np.ndarray], list]:
+    paths = []
+    transitions = []
+    for record in records:
+        paths.append(record.fault.path)
+        transitions.append(_TRANSITIONS.index(record.fault.transition))
+    arrays = _pack_paths(paths)
+    arrays["transitions"] = np.array(transitions, dtype=np.uint8)
+    return arrays, paths
+
+
+def pack_target_sets(targets: TargetSets):
+    """``(arrays, payload)`` for one target-set construction."""
+    arrays = {}
+    for name, records in (("p0", targets.p0), ("p1", targets.p1)):
+        packed, _ = _pack_records(records)
+        arrays.update({f"{name}_{key}": value for key, value in packed.items()})
+    payload = {
+        "i0": targets.i0,
+        "dropped_conflict": targets.dropped_conflict,
+        "dropped_implication": targets.dropped_implication,
+    }
+    return arrays, payload
+
+
+def _unpack_records(netlist: "Netlist", arrays, prefix: str, mode) -> list[FaultRecord]:
+    from ..faults.conditions import sensitize
+
+    paths = _unpack_paths(arrays, prefix=prefix)
+    transitions = arrays[f"{prefix}transitions"].tolist()
+    if len(transitions) != len(paths):
+        raise ValueError("transition flags disagree with path count")
+    records = []
+    for path, flag in zip(paths, transitions):
+        if flag not in (0, 1):
+            raise ValueError(f"unknown transition flag {flag}")
+        fault = PathDelayFault(path, _TRANSITIONS[flag])
+        sens = sensitize(netlist, fault, mode=mode)
+        if sens is None:
+            # A published record was sensitizable by construction; a
+            # conflict here means the entry does not match this netlist.
+            raise ValueError("stored fault is not sensitizable")
+        records.append(FaultRecord(fault, sens))
+    return records
+
+
+def unpack_target_sets(netlist: "Netlist", payload, arrays, mode) -> TargetSets:
+    """Rebuild :class:`TargetSets`, re-deriving requirements and table."""
+    from ..paths.lengths import length_table_for_faults
+
+    p0 = _unpack_records(netlist, arrays, "p0_", mode)
+    p1 = _unpack_records(netlist, arrays, "p1_", mode)
+    table = length_table_for_faults(record.fault for record in p0 + p1)
+    return TargetSets(
+        netlist=netlist,
+        p0=p0,
+        p1=p1,
+        i0=int(payload["i0"]),
+        length_table=table,
+        dropped_conflict=int(payload["dropped_conflict"]),
+        dropped_implication=int(payload["dropped_implication"]),
+        enumeration=None,
+        budget_exhausted=None,
+    )
+
+
+# -- session-facing consult/publish wrappers ---------------------------
+
+
+def _enumeration_params(max_faults: int, use_distances: bool) -> dict:
+    return {"max_faults": max_faults, "use_distances": use_distances}
+
+
+def _target_set_params(
+    max_faults: int, p0_min_faults: int, mode, filter_implications: bool
+) -> dict:
+    return {
+        "max_faults": max_faults,
+        "p0_min_faults": p0_min_faults,
+        "mode": str(mode),
+        "filter_implications": filter_implications,
+    }
+
+
+def _digest(netlist: "Netlist", digest: str | None) -> str:
+    return digest if digest is not None else netlist_digest(netlist)
+
+
+def load_enumeration(
+    store: ArtifactStore,
+    netlist: "Netlist",
+    *,
+    max_faults: int,
+    use_distances: bool,
+    digest: str | None = None,
+    stats=None,
+) -> "EnumerationResult | None":
+    """Stored enumeration for the exact parameter envelope, or ``None``."""
+    found = store.load(
+        _digest(netlist, digest),
+        "enumeration",
+        _enumeration_params(max_faults, use_distances),
+        stats=stats,
+    )
+    if found is None:
+        return None
+    payload, arrays = found
+    try:
+        return unpack_enumeration(payload, arrays)
+    except (KeyError, ValueError, OverflowError):
+        if stats is not None:
+            stats.count("artifact.corrupt")
+        return None
+
+
+def publish_enumeration(
+    store: ArtifactStore,
+    netlist: "Netlist",
+    result: "EnumerationResult",
+    *,
+    max_faults: int,
+    use_distances: bool,
+    digest: str | None = None,
+    stats=None,
+) -> None:
+    """Persist a complete (unbudgeted) enumeration; best-effort."""
+    if result.budget_exhausted is not None:
+        return
+    arrays, payload = pack_enumeration(result)
+    try:
+        store.publish(
+            _digest(netlist, digest),
+            "enumeration",
+            _enumeration_params(max_faults, use_distances),
+            arrays,
+            payload,
+            netlist_name=netlist.name,
+            stats=stats,
+        )
+    except OSError:
+        pass
+
+
+def load_target_sets(
+    store: ArtifactStore,
+    netlist: "Netlist",
+    *,
+    max_faults: int,
+    p0_min_faults: int,
+    mode,
+    filter_implications: bool,
+    digest: str | None = None,
+    stats=None,
+) -> TargetSets | None:
+    """Stored target sets for the exact parameter envelope, or ``None``."""
+    found = store.load(
+        _digest(netlist, digest),
+        "target_sets",
+        _target_set_params(max_faults, p0_min_faults, mode, filter_implications),
+        stats=stats,
+    )
+    if found is None:
+        return None
+    payload, arrays = found
+    try:
+        return unpack_target_sets(netlist, payload, arrays, mode)
+    except (KeyError, ValueError, OverflowError):
+        if stats is not None:
+            stats.count("artifact.corrupt")
+        return None
+
+
+def publish_target_sets(
+    store: ArtifactStore,
+    netlist: "Netlist",
+    targets: TargetSets,
+    *,
+    max_faults: int,
+    p0_min_faults: int,
+    mode,
+    filter_implications: bool,
+    digest: str | None = None,
+    stats=None,
+) -> None:
+    """Persist a complete (unbudgeted) target-set build; best-effort."""
+    if targets.budget_exhausted is not None:
+        return
+    arrays, payload = pack_target_sets(targets)
+    try:
+        store.publish(
+            _digest(netlist, digest),
+            "target_sets",
+            _target_set_params(max_faults, p0_min_faults, mode, filter_implications),
+            arrays,
+            payload,
+            netlist_name=netlist.name,
+            stats=stats,
+        )
+    except OSError:
+        pass

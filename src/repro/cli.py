@@ -11,10 +11,17 @@ Subcommands:
 * ``journal``   -- the persistent run journal: ``report`` renders
   per-sha trend tables, ``gate`` flags regressions against the
   trajectory, ``validate`` schema-checks the JSONL file.
+* ``cache``     -- the persistent artifact store: ``ls`` lists entries,
+  ``verify`` integrity-checks them, ``gc`` applies a size-bounded LRU
+  eviction.
 
 One :class:`repro.engine.Engine` backs each invocation, so every stage of a
 subcommand (and every circuit of a ``tables`` sweep) shares the per-circuit
 artifact caches; ``--stats`` prints its counters and timers to stderr.
+``--artifact-cache DIR`` (or ``REPRO_ARTIFACT_CACHE``) additionally makes
+enumerations and target sets persistent across invocations via
+:mod:`repro.artifacts` -- warm runs load instead of recomputing; output is
+identical either way.
 ``tables --journal PATH`` additionally appends a structured record of the
 run (sha, machine, config, per-circuit runtimes, abort taxonomy, cache hit
 rates, per-shard job records) to the journal -- after the results are
@@ -29,8 +36,10 @@ import time
 from pathlib import Path
 
 from .api import basic_atpg_circuit, enrich_circuit
+from .artifacts import ArtifactStore
 from .circuit import analyze, available_circuits, load_bench, validate
 from .engine import CircuitSession, Engine
+from .envflags import ARTIFACT_CACHE_ENV, artifact_cache_dir
 from .experiments import (
     SCALES,
     TABLE3_CIRCUITS,
@@ -219,6 +228,9 @@ def _journal_tables_config(args, scale) -> dict:
         "shard_min_faults": args.shard_min_faults,
         "resume": bool(args.resume),
         "budget": budget.spec() if budget is not None else None,
+        "artifact_cache": bool(
+            getattr(args, "artifact_cache", None) or artifact_cache_dir()
+        ),
     }
 
 
@@ -308,6 +320,72 @@ def _cmd_tables(args, engine: Engine) -> int:
             ),
         )
         print(f"journal: appended tables entry to {args.journal}", file=sys.stderr)
+    return 0
+
+
+def _cache_store(args) -> ArtifactStore | None:
+    """The artifact store a ``cache`` subcommand operates on, or ``None``
+    (with a stderr message) when neither the flag nor the environment
+    names a directory."""
+    directory = getattr(args, "artifact_cache", None) or artifact_cache_dir()
+    if not directory:
+        print(
+            f"error: no artifact cache directory; pass --artifact-cache DIR "
+            f"or set {ARTIFACT_CACHE_ENV}",
+            file=sys.stderr,
+        )
+        return None
+    return ArtifactStore(directory)
+
+
+def _format_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024
+    return f"{int(size)}B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache_ls(args, _engine: Engine) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    entries = store.entries()
+    for entry in entries:
+        print(entry.describe(store.read_meta(entry)))
+    print(
+        f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{_format_bytes(store.total_bytes())} in {store.directory}"
+    )
+    return 0
+
+
+def _cmd_cache_verify(args, _engine: Engine) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    intact, corrupt = store.verify()
+    for entry in corrupt:
+        print(f"corrupt: {entry.path.name}")
+    print(
+        f"{len(intact)} intact, {len(corrupt)} corrupt in {store.directory}"
+    )
+    return 1 if corrupt else 0
+
+
+def _cmd_cache_gc(args, _engine: Engine) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    removed = store.gc(args.max_bytes)
+    freed = sum(entry.size for entry in removed)
+    for entry in removed:
+        print(f"evicted: {entry.path.name} ({_format_bytes(entry.size)})")
+    print(
+        f"evicted {len(removed)} entr{'y' if len(removed) == 1 else 'ies'} "
+        f"({_format_bytes(freed)}); {_format_bytes(store.total_bytes())} kept "
+        f"in {store.directory}"
+    )
     return 0
 
 
@@ -456,12 +534,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="justification attempts per target fault",
         )
 
+    def add_cache_arg(p):
+        p.add_argument(
+            "--artifact-cache",
+            metavar="DIR",
+            default=None,
+            help="persistent artifact store directory: enumerations and "
+            "target sets are loaded from DIR when present and published "
+            "after computing (default: $" + ARTIFACT_CACHE_ENV + ", "
+            "else disabled; output is identical with or without)",
+        )
+
     p_enum = sub.add_parser("enumerate", help="longest-path enumeration")
     p_enum.add_argument("circuit")
     p_enum.add_argument("--max-faults", type=int, default=600)
     p_enum.add_argument("--p0-min-faults", type=int, default=150)
     p_enum.add_argument("--rows", type=int, default=20)
     p_enum.add_argument("--no-implications", action="store_true")
+    add_cache_arg(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
 
     p_atpg = sub.add_parser("atpg", help="basic test generation for P0")
@@ -473,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scale_args(p_atpg)
     add_budget_args(p_atpg)
+    add_cache_arg(p_atpg)
     p_atpg.add_argument("--show-tests", action="store_true")
     p_atpg.set_defaults(func=_cmd_atpg)
 
@@ -480,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_enrich.add_argument("circuit")
     add_scale_args(p_enrich)
     add_budget_args(p_enrich)
+    add_cache_arg(p_enrich)
     p_enrich.set_defaults(func=_cmd_enrich)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -560,7 +652,39 @@ def build_parser() -> argparse.ArgumentParser:
         "unaffected",
     )
     add_budget_args(p_tables)
+    add_cache_arg(p_tables)
     p_tables.set_defaults(func=_cmd_tables)
+
+    p_cache = sub.add_parser(
+        "cache", help="persistent artifact store: ls / verify / gc"
+    )
+    csub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_cls = csub.add_parser("ls", help="list stored artifacts (newest first)")
+    add_cache_arg(p_cls)
+    p_cls.set_defaults(func=_cmd_cache_ls)
+
+    p_cverify = csub.add_parser(
+        "verify",
+        help="decode and integrity-check every entry (exit 1 on corruption)",
+    )
+    add_cache_arg(p_cverify)
+    p_cverify.set_defaults(func=_cmd_cache_verify)
+
+    p_cgc = csub.add_parser(
+        "gc",
+        help="evict least-recently-used entries until the store fits the "
+        "size bound (loads refresh an entry's mtime)",
+    )
+    add_cache_arg(p_cgc)
+    p_cgc.add_argument(
+        "--max-bytes",
+        type=_nonnegative_int_arg,
+        required=True,
+        metavar="N",
+        help="keep at most N bytes of newest-used entries (0 clears all)",
+    )
+    p_cgc.set_defaults(func=_cmd_cache_gc)
 
     p_journal = sub.add_parser(
         "journal", help="persistent run journal: report / gate / validate"
@@ -649,7 +773,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
         parser.error("--resume requires --checkpoint-dir")
-    engine = Engine()
+    # --artifact-cache wins over REPRO_ARTIFACT_CACHE; with neither set,
+    # Engine() leaves persistent caching off (the seed behaviour).
+    cache_dir = getattr(args, "artifact_cache", None)
+    engine = Engine(artifacts=ArtifactStore(cache_dir) if cache_dir else None)
     code = args.func(args, engine)
     if args.stats:
         print(engine.stats.format(), file=sys.stderr)

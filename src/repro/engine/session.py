@@ -17,12 +17,21 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from ..artifacts import (
+    ArtifactStore,
+    load_enumeration,
+    load_target_sets,
+    netlist_digest,
+    publish_enumeration,
+    publish_target_sets,
+)
 from ..atpg.enrich import generate_enriched
 from ..atpg.generator import AtpgConfig, generate_basic
 from ..atpg.justify import Justifier
 from ..circuit.library import load_circuit
 from ..circuit.netlist import Netlist
 from ..circuit.transform import pdf_ready
+from ..envflags import artifact_cache_dir
 from ..faults.conditions import Mode
 from ..faults.universe import FaultRecord, TargetSets, build_target_sets
 from ..robustness import Budget
@@ -55,16 +64,25 @@ class CircuitSession:
         stats: EngineStats | None = None,
         simulator: BatchSimulator | None = None,
         budget: Budget | None = None,
+        artifacts: ArtifactStore | None = None,
     ) -> None:
         """``budget`` is the session-wide resource budget, applied to every
         accessor unless a call passes its own.  Memoized artifacts are
         cached per parameter key regardless of budget: a session lives
         inside one run and shares that run's budget, so a degraded
-        artifact is exactly the one every later stage should reuse."""
+        artifact is exactly the one every later stage should reuse.
+
+        ``artifacts`` is an optional persistent :class:`ArtifactStore`:
+        enumeration/target-set accessors consult it before computing and
+        publish after, but only for *unbudgeted* calls -- budgeted builds
+        are wall-clock dependent and bypass the store entirely, so cached
+        entries are always complete and deterministic."""
         self.stats = stats if stats is not None else EngineStats()
         self.budget = budget if budget is None or not budget.is_null else None
         netlist = load_circuit(circuit) if isinstance(circuit, str) else circuit
         self.netlist = pdf_ready(netlist)
+        self.artifacts = artifacts
+        self._artifact_digest: str | None = None
         self._simulator = simulator
         if simulator is not None and simulator.stats is None:
             simulator.stats = self.stats
@@ -100,6 +118,24 @@ class CircuitSession:
             return self.budget
         return None if budget.is_null else budget
 
+    def _store_for(self, budget: Budget | None) -> ArtifactStore | None:
+        """The artifact store to consult for one call, if any.
+
+        Only unbudgeted calls see the store: a budget may truncate the
+        artifact, and a truncated artifact must neither be replayed nor
+        shadow the degraded build this run's later stages should reuse.
+        """
+        if self.artifacts is None or budget is not None:
+            return None
+        return self.artifacts
+
+    @property
+    def artifact_digest(self) -> str:
+        """Content digest of the session's PDF-ready netlist (lazy)."""
+        if self._artifact_digest is None:
+            self._artifact_digest = netlist_digest(self.netlist)
+        return self._artifact_digest
+
     def enumeration(
         self,
         max_faults: int,
@@ -115,12 +151,37 @@ class CircuitSession:
             self.stats.hit("enumerate")
             return cached
         self.stats.miss("enumerate")
+        budget = self._budget(budget)
+        store = self._store_for(budget)
+        if store is not None:
+            with self.stats.timer("artifact.load"):
+                loaded = load_enumeration(
+                    store,
+                    self.netlist,
+                    max_faults=max_faults,
+                    use_distances=use_distances,
+                    digest=self.artifact_digest,
+                    stats=self.stats,
+                )
+            if loaded is not None:
+                self._enumerations[key] = loaded
+                return loaded
         with self.stats.timer("enumerate"):
             result = enumerate_paths(
                 self.netlist,
                 max_faults=max_faults,
                 use_distances=use_distances,
-                budget=self._budget(budget),
+                budget=budget,
+            )
+        if store is not None:
+            publish_enumeration(
+                store,
+                self.netlist,
+                result,
+                max_faults=max_faults,
+                use_distances=use_distances,
+                digest=self.artifact_digest,
+                stats=self.stats,
             )
         self._enumerations[key] = result
         return result
@@ -141,6 +202,22 @@ class CircuitSession:
             return cached
         self.stats.miss("target_sets")
         budget = self._budget(budget)
+        store = self._store_for(budget)
+        if store is not None:
+            with self.stats.timer("artifact.load"):
+                loaded = load_target_sets(
+                    store,
+                    self.netlist,
+                    max_faults=max_faults,
+                    p0_min_faults=p0_min_faults,
+                    mode=mode,
+                    filter_implications=filter_implications,
+                    digest=self.artifact_digest,
+                    stats=self.stats,
+                )
+            if loaded is not None:
+                self._target_sets[key] = loaded
+                return loaded
         enumeration = self.enumeration(max_faults, budget=budget)
         with self.stats.timer("target_sets"):
             targets = build_target_sets(
@@ -151,6 +228,18 @@ class CircuitSession:
                 enumeration=enumeration,
                 justifier=self.justifier if filter_implications else None,
                 budget=budget,
+            )
+        if store is not None:
+            publish_target_sets(
+                store,
+                self.netlist,
+                targets,
+                max_faults=max_faults,
+                p0_min_faults=p0_min_faults,
+                mode=mode,
+                filter_implications=filter_implications,
+                digest=self.artifact_digest,
+                stats=self.stats,
             )
         self._target_sets[key] = targets
         return targets
@@ -267,14 +356,27 @@ class Engine:
     """
 
     def __init__(
-        self, stats: EngineStats | None = None, budget: Budget | None = None
+        self,
+        stats: EngineStats | None = None,
+        budget: Budget | None = None,
+        artifacts: ArtifactStore | None = None,
     ) -> None:
         """``budget`` is handed to every session this engine creates (it
         may be (re)assigned before the first ``session()`` call, which is
         how the CLI applies ``--deadline``/``--budget-profile`` to an
-        engine built earlier)."""
+        engine built earlier).
+
+        ``artifacts`` is the persistent artifact store shared by every
+        session.  When omitted, ``REPRO_ARTIFACT_CACHE`` is consulted, so
+        pool workers (which inherit the environment) warm-start without
+        explicit plumbing; unset means caching stays off."""
         self.stats = stats if stats is not None else EngineStats()
         self.budget = budget
+        if artifacts is None:
+            directory = artifact_cache_dir()
+            if directory:
+                artifacts = ArtifactStore(directory)
+        self.artifacts = artifacts
         #: Per-job completion records appended by the parallel runner
         #: (key, kind, wall seconds; resumed checkpoints are flagged).
         #: The run journal embeds them so a sweep's per-shard cost
@@ -289,7 +391,10 @@ class Engine:
             session = self._by_name.get(circuit)
             if session is None:
                 session = CircuitSession(
-                    circuit, stats=self.stats, budget=self.budget
+                    circuit,
+                    stats=self.stats,
+                    budget=self.budget,
+                    artifacts=self.artifacts,
                 )
                 self._by_name[circuit] = session
             return session
@@ -297,7 +402,12 @@ class Engine:
         # netlist alive, so ids cannot be recycled while pooled.
         session = self._by_identity.get(id(circuit))
         if session is None:
-            session = CircuitSession(circuit, stats=self.stats, budget=self.budget)
+            session = CircuitSession(
+                circuit,
+                stats=self.stats,
+                budget=self.budget,
+                artifacts=self.artifacts,
+            )
             self._by_identity[id(circuit)] = session
         return session
 

@@ -32,7 +32,14 @@ Counter naming convention:
   reason (``deadline``, ``node_limit``, ``attempt_limit``, ...) and
   ``budget.run_stops`` (run-level stops: deadline expiry / abort limit);
 * ``checkpoint.corrupt`` -- checkpoint files that existed but could not
-  be decoded (distinguished from simply missing ones, which stay silent).
+  be decoded (distinguished from simply missing ones, which stay silent);
+* ``artifact.*`` -- persistent artifact store outcomes
+  (:mod:`repro.artifacts`): every consult counts exactly one of
+  ``artifact.hit`` / ``artifact.miss``; corrupt or stale entries count an
+  additional ``artifact.corrupt`` (they degrade to misses, never errors)
+  and every publish counts ``artifact.write``.  Load wall clock lands in
+  the ``artifact.load`` timer; the compute it replaces would have landed
+  in ``enumerate`` / ``target_sets``.
 
 Timers accumulate wall-clock seconds under the same names (``enumerate``,
 ``target_sets``, ``justify``, ``generate``).  ``maxima`` are max-semantics

@@ -12,6 +12,12 @@ The hot kernels consult three knobs:
   :mod:`repro.sim.packed`).  ``native`` is a reserved name for a future
   compiled backend and raises :class:`NotImplementedError` until it lands.
 
+The engine layer consults one more:
+
+* ``REPRO_ARTIFACT_CACHE=<dir>`` -- enable the persistent artifact store
+  (:mod:`repro.artifacts`) rooted at ``<dir>``; equivalent to the CLI's
+  ``--artifact-cache``.  Unset (the default) leaves caching off.
+
 All are consulted on every :class:`~repro.sim.faultsim.FaultSimulator`
 construction and every justification, so each value is snapshotted on first
 use instead of hitting ``os.environ`` per call.  Tests monkeypatch the
@@ -29,11 +35,13 @@ __all__ = [
     "SCALAR_COVER_ENV",
     "FULL_SIM_ENV",
     "BACKEND_ENV",
+    "ARTIFACT_CACHE_ENV",
     "BACKENDS",
     "flag_enabled",
     "scalar_cover_requested",
     "full_sim_requested",
     "simulation_backend",
+    "artifact_cache_dir",
     "reset",
 ]
 
@@ -45,6 +53,9 @@ FULL_SIM_ENV = "REPRO_FULL_SIM"
 
 #: Select the simulation backend ("numpy" or "packed").
 BACKEND_ENV = "REPRO_BACKEND"
+
+#: Directory of the persistent artifact cache (default: disabled).
+ARTIFACT_CACHE_ENV = "REPRO_ARTIFACT_CACHE"
 
 #: Implemented backends, in preference order.  "native" is reserved.
 BACKENDS = ("numpy", "packed")
@@ -95,7 +106,24 @@ def simulation_backend() -> str:
     return raw
 
 
+@lru_cache(maxsize=None)
+def _env_path(name: str) -> str:
+    # Like _env_value but case-preserving: the value is a filesystem path.
+    return os.environ.get(name, "").strip()
+
+
+def artifact_cache_dir() -> str | None:
+    """``REPRO_ARTIFACT_CACHE`` directory, or ``None`` when unset.
+
+    Enables the persistent artifact store (:mod:`repro.artifacts`) for
+    every :class:`~repro.engine.session.Engine` built without an explicit
+    store -- including pool workers, which inherit the environment.
+    """
+    return _env_path(ARTIFACT_CACHE_ENV) or None
+
+
 def reset() -> None:
     """Drop the cached snapshots (tests re-read the environment after this)."""
     flag_enabled.cache_clear()
     _env_value.cache_clear()
+    _env_path.cache_clear()

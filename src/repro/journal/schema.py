@@ -65,12 +65,14 @@ SCHEMA_VERSION = 1
 #: long-lived committed artifact, so typos must not dilute a series.
 KINDS = ("tables", "bench")
 
-#: Session caches whose hit/miss counters are worth journaling.
-_CACHES = ("enumerate", "target_sets", "fault_simulator", "cone")
+#: Session caches whose hit/miss counters are worth journaling
+#: ("artifact" is the persistent on-disk store of :mod:`repro.artifacts`).
+_CACHES = ("enumerate", "target_sets", "fault_simulator", "cone", "artifact")
 
 #: Counter prefixes copied from ``EngineStats`` into ``entry["counters"]``
-#: (the abort taxonomy and the runner's fault-tolerance bookkeeping).
-_COUNTER_PREFIXES = ("backend.", "budget.", "parallel.", "checkpoint.")
+#: (the abort taxonomy, the runner's fault-tolerance bookkeeping and the
+#: artifact store's write/corrupt accounting).
+_COUNTER_PREFIXES = ("backend.", "budget.", "parallel.", "checkpoint.", "artifact.")
 
 
 def validate_entry(entry: object) -> list[str]:

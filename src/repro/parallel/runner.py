@@ -62,6 +62,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..artifacts import ArtifactStore
 from ..engine import Engine
 from ..engine.stats import EngineStats
 from ..robustness import Budget
@@ -266,7 +267,13 @@ def run_circuit_job(job: CircuitJob, engine: Engine) -> CircuitJobResult:
 
 
 def execute_job(job: "Job") -> "CircuitJobResult | ShardJobResult":
-    """Pool-worker entry point: fresh engine, stats shipped back."""
+    """Pool-worker entry point: fresh engine, stats shipped back.
+
+    The fresh engine still picks up ``REPRO_ARTIFACT_CACHE`` from the
+    (inherited) environment; the runner's own pool path additionally
+    forwards its parent engine's store directory in the job payload (see
+    :func:`_pool_entry`), covering ``--artifact-cache`` runs too.
+    """
     engine = Engine()
     if isinstance(job, FaultShardJob):
         result = run_fault_shard_job(job, engine)
@@ -376,6 +383,7 @@ def _pool_entry(
     attempt: int,
     budget: Budget | None = None,
     timeout: float | None = None,
+    artifact_cache: str | None = None,
 ) -> "CircuitJobResult | ShardJobResult | JobFailure":
     """Guarded pool-worker entry point: never raises, ships stats back.
 
@@ -387,8 +395,16 @@ def _pool_entry(
     cancels it instead of killing the worker, so an orderly shutdown
     (e.g. a cluster preemption that signals before SIGKILL) also
     salvages the partial result.
+
+    ``artifact_cache`` is the parent engine's persistent artifact store
+    directory, forwarded in the job payload so every worker of a sharded
+    run opens the *same* store -- N shards of one circuit load one
+    shared enumeration instead of recomputing it N times.  ``None``
+    still honours ``REPRO_ARTIFACT_CACHE`` via the fresh engine.
     """
-    engine = Engine()
+    engine = Engine(
+        artifacts=ArtifactStore(artifact_cache) if artifact_cache else None
+    )
     effective = _effective_budget(budget, timeout, job)
     previous_handler = None
     if effective is not None:
@@ -470,6 +486,13 @@ class ParallelRunner:
         if budget is None:
             budget = self.engine.budget
         self.budget = budget if budget is None or not budget.is_null else None
+        # Pool workers receive the parent store's directory in the job
+        # payload (env inheritance alone would miss --artifact-cache).
+        self.artifact_cache = (
+            str(self.engine.artifacts.directory)
+            if self.engine.artifacts is not None
+            else None
+        )
 
     def run(
         self,
@@ -701,6 +724,7 @@ class ParallelRunner:
                     attempt,
                     self.budget.forked() if self.budget is not None else None,
                     self.timeout,
+                    self.artifact_cache,
                 ): (job, attempt)
                 for job, attempt in queue
             }

@@ -1,0 +1,268 @@
+"""Tests for the artifact payload codecs (repro.artifacts.payloads).
+
+Round-trip fidelity is the whole point: an artifact loaded from disk
+must be field-for-field equivalent to the cold build it replaces --
+same path identities, same fault order, same re-derived requirement
+sets and length table.  Payloads that cannot be reconstructed must
+degrade to counted ``artifact.corrupt`` misses, and budgeted builds
+must never be published at all.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import (
+    ArtifactStore,
+    load_enumeration,
+    load_target_sets,
+    pack_enumeration,
+    pack_target_sets,
+    publish_enumeration,
+    publish_target_sets,
+    unpack_enumeration,
+    unpack_target_sets,
+)
+from repro.artifacts.payloads import _pack_paths, _unpack_paths
+from repro.engine import CircuitSession, EngineStats
+from repro.faults.path import Path
+from repro.paths.enumerate import EnumerationResult
+
+MAX_FAULTS = 100
+P0_MIN = 20
+
+
+@pytest.fixture(scope="module")
+def session(s27):
+    session = CircuitSession(s27)
+    return session
+
+
+@pytest.fixture(scope="module")
+def enumeration(session):
+    return session.enumeration(MAX_FAULTS)
+
+
+@pytest.fixture(scope="module")
+def targets(session):
+    return session.target_sets(max_faults=MAX_FAULTS, p0_min_faults=P0_MIN)
+
+
+def assert_same_targets(ours, theirs):
+    assert [r.fault.key() for r in ours.all_records] == [
+        r.fault.key() for r in theirs.all_records
+    ]
+    assert all(
+        a.sens.requirements == b.sens.requirements
+        for a, b in zip(ours.all_records, theirs.all_records)
+    )
+    assert ours.i0 == theirs.i0
+    assert ours.dropped_conflict == theirs.dropped_conflict
+    assert ours.dropped_implication == theirs.dropped_implication
+    assert tuple(ours.length_table) == tuple(theirs.length_table)
+    assert ours.summary() == theirs.summary()
+
+
+class TestRoundTrips:
+    def test_enumeration(self, enumeration):
+        arrays, payload = pack_enumeration(enumeration)
+        rebuilt = unpack_enumeration(payload, arrays)
+        assert rebuilt.paths == enumeration.paths
+        assert rebuilt.cap_hit == enumeration.cap_hit
+        assert rebuilt.expansions == enumeration.expansions
+        assert rebuilt.pruned_complete == enumeration.pruned_complete
+        assert rebuilt.pruned_partial == enumeration.pruned_partial
+        assert rebuilt.min_kept_length == enumeration.min_kept_length
+        assert rebuilt.max_kept_length == enumeration.max_kept_length
+        assert rebuilt.budget_exhausted is None
+
+    def test_target_sets(self, session, targets):
+        arrays, payload = pack_target_sets(targets)
+        rebuilt = unpack_target_sets(session.netlist, payload, arrays, "robust")
+        assert_same_targets(rebuilt, targets)
+        assert rebuilt.enumeration is None
+        assert rebuilt.budget_exhausted is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        nodelists=st.lists(
+            st.lists(st.integers(0, 1_000), min_size=1, max_size=8),
+            max_size=20,
+        )
+    )
+    def test_path_arrays_round_trip(self, nodelists):
+        paths = [Path(nodes) for nodes in nodelists]
+        arrays = _pack_paths(paths)
+        rebuilt = _unpack_paths(arrays)
+        assert rebuilt == paths
+        assert all(
+            type(node) is int for path in rebuilt for node in path.nodes
+        )
+
+
+class TestUnpackRejectsMalformedArrays:
+    def test_node_count_disagreement(self):
+        arrays = _pack_paths([Path([1, 2]), Path([3])])
+        arrays["nodes"] = arrays["nodes"][:-1]
+        with pytest.raises(ValueError):
+            _unpack_paths(arrays)
+
+    def test_empty_path(self):
+        arrays = {
+            "lengths": np.array([0], dtype=np.int32),
+            "nodes": np.array([], dtype=np.int32),
+        }
+        with pytest.raises(ValueError):
+            _unpack_paths(arrays)
+
+    def test_unknown_transition_flag(self, session, targets):
+        arrays, payload = pack_target_sets(targets)
+        arrays["p0_transitions"] = arrays["p0_transitions"] + 7
+        with pytest.raises(ValueError):
+            unpack_target_sets(session.netlist, payload, arrays, "robust")
+
+    def test_transition_count_disagreement(self, session, targets):
+        arrays, payload = pack_target_sets(targets)
+        arrays["p1_transitions"] = arrays["p1_transitions"][:-1]
+        with pytest.raises(ValueError):
+            unpack_target_sets(session.netlist, payload, arrays, "robust")
+
+
+class TestStoreWrappers:
+    def test_enumeration_publish_then_load(self, tmp_path, session, enumeration):
+        stats = EngineStats()
+        store = ArtifactStore(tmp_path / "cache")
+        publish_enumeration(
+            store,
+            session.netlist,
+            enumeration,
+            max_faults=MAX_FAULTS,
+            use_distances=True,
+            stats=stats,
+        )
+        loaded = load_enumeration(
+            store,
+            session.netlist,
+            max_faults=MAX_FAULTS,
+            use_distances=True,
+            stats=stats,
+        )
+        assert loaded is not None and loaded.paths == enumeration.paths
+        assert stats.counter("artifact.write") == 1
+        assert stats.counter("artifact.hit") == 1
+
+    def test_target_sets_publish_then_load(self, tmp_path, session, targets):
+        store = ArtifactStore(tmp_path / "cache")
+        publish_target_sets(
+            store,
+            session.netlist,
+            targets,
+            max_faults=MAX_FAULTS,
+            p0_min_faults=P0_MIN,
+            mode="robust",
+            filter_implications=True,
+        )
+        loaded = load_target_sets(
+            store,
+            session.netlist,
+            max_faults=MAX_FAULTS,
+            p0_min_faults=P0_MIN,
+            mode="robust",
+            filter_implications=True,
+        )
+        assert loaded is not None
+        assert_same_targets(loaded, targets)
+
+    def test_budgeted_enumeration_is_never_published(self, tmp_path, session):
+        store = ArtifactStore(tmp_path / "cache")
+        stats = EngineStats()
+        truncated = EnumerationResult(
+            paths=[Path([0])],
+            cap_hit=False,
+            expansions=1,
+            pruned_complete=0,
+            pruned_partial=0,
+            min_kept_length=1,
+            max_kept_length=1,
+            budget_exhausted="deadline",
+        )
+        publish_enumeration(
+            store,
+            session.netlist,
+            truncated,
+            max_faults=MAX_FAULTS,
+            use_distances=True,
+            stats=stats,
+        )
+        assert store.entries() == []
+        assert stats.counter("artifact.write") == 0
+
+    def test_budgeted_targets_are_never_published(self, tmp_path, session, targets):
+        from dataclasses import replace
+
+        store = ArtifactStore(tmp_path / "cache")
+        publish_target_sets(
+            store,
+            session.netlist,
+            replace(targets, budget_exhausted="deadline"),
+            max_faults=MAX_FAULTS,
+            p0_min_faults=P0_MIN,
+            mode="robust",
+            filter_implications=True,
+        )
+        assert store.entries() == []
+
+    def test_undecodable_payload_counts_corrupt(self, tmp_path, session, targets):
+        # The entry passes the store's integrity digest (it was published
+        # with the bad flags) but cannot be reconstructed into records:
+        # the second decode layer must also degrade to a counted miss.
+        stats = EngineStats()
+        store = ArtifactStore(tmp_path / "cache")
+        arrays, payload = pack_target_sets(targets)
+        arrays["p0_transitions"] = arrays["p0_transitions"] + 7
+        from repro.artifacts import netlist_digest
+
+        store.publish(
+            netlist_digest(session.netlist),
+            "target_sets",
+            {
+                "max_faults": MAX_FAULTS,
+                "p0_min_faults": P0_MIN,
+                "mode": "robust",
+                "filter_implications": True,
+            },
+            arrays,
+            payload,
+        )
+        loaded = load_target_sets(
+            store,
+            session.netlist,
+            max_faults=MAX_FAULTS,
+            p0_min_faults=P0_MIN,
+            mode="robust",
+            filter_implications=True,
+            stats=stats,
+        )
+        assert loaded is None
+        assert stats.counter("artifact.hit") == 1  # store-level decode passed
+        assert stats.counter("artifact.corrupt") == 1  # payload-level failed
+
+    def test_publish_failure_is_swallowed(
+        self, tmp_path, session, enumeration, monkeypatch
+    ):
+        store = ArtifactStore(tmp_path / "cache")
+
+        def full_disk(*args, **kwargs):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(ArtifactStore, "publish", full_disk)
+        publish_enumeration(  # must not raise: the cache is best-effort
+            store,
+            session.netlist,
+            enumeration,
+            max_faults=MAX_FAULTS,
+            use_distances=True,
+        )
+        monkeypatch.undo()
+        assert store.entries() == []

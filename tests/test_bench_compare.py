@@ -43,6 +43,45 @@ class TestCompare:
         assert len(_run({"a": 0.0}, {"a": 0.1})) == 1
 
 
+class TestToleratedRegressions:
+    def test_fraction_within_absolute_bar_passes(self):
+        """The warm/cold fraction is jitter-dominated: a nominal slowdown
+        that stays under the >= 5x acceptance bar is not a regression."""
+        assert _run(
+            {"artifact_warm_cold_fraction": 0.03},
+            {"artifact_warm_cold_fraction": 0.05},
+        ) == []
+
+    def test_fraction_past_absolute_bar_fails(self):
+        failures = _run(
+            {"artifact_warm_cold_fraction": 0.03},
+            {"artifact_warm_cold_fraction": 0.25},
+        )
+        assert len(failures) == 1
+
+    def test_tiny_wall_clocks_below_noise_floor_pass(self):
+        assert _run({"sharded_merge": 0.0001}, {"sharded_merge": 0.0004}) == []
+
+    def test_regression_past_noise_floor_fails(self):
+        failures = _run({"a": 0.04}, {"a": 0.06})
+        assert len(failures) == 1
+
+    def test_journal_gate_applies_same_tolerance(self, tmp_path, monkeypatch):
+        from repro.journal import append_entry, bench_entry
+
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "a" * 40)
+        journal = tmp_path / "journal.jsonl"
+        append_entry(
+            journal,
+            bench_entry({"results": {"artifact_warm_cold_fraction": 0.03}}),
+        )
+        noisy = {"meta": {}, "results": {"artifact_warm_cold_fraction": 0.05}}
+        regressions = bench_compare.journal_run(
+            noisy, _journal_args(journal, journal_gate=True), skip_gate=False
+        )
+        assert regressions == 0
+
+
 class TestMergeBaseline:
     def test_current_wins_shared_entries(self):
         merged = bench_compare.merge_baseline(
@@ -69,6 +108,7 @@ def _journal_args(journal, journal_gate=False, max_regression=0.25):
         max_regression=max_regression,
         sharded=False,
         packed=False,
+        cached=False,
         repeats=3,
         update_baseline=False,
     )
@@ -97,6 +137,28 @@ class TestPackedMode:
         [entry] = read_journal(journal).entries
         assert entry["config"]["mode"] == "packed"
         assert entry["config"]["packed"] is True
+
+
+class TestCachedMode:
+    def test_cached_excludes_other_suites(self, capsys):
+        import pytest
+
+        for argv in (["--cached", "--sharded"], ["--cached", "--packed"]):
+            with pytest.raises(SystemExit):
+                bench_compare.main(argv)
+
+    def test_cached_run_journals_as_its_own_config(self, tmp_path, monkeypatch):
+        from repro.journal import read_journal
+
+        monkeypatch.setenv("REPRO_JOURNAL_SHA", "a" * 40)
+        journal = tmp_path / "journal.jsonl"
+        args = _journal_args(journal)
+        args.cached = True
+        current = {"meta": {}, "results": {"artifact_cold_build": 0.5}}
+        bench_compare.journal_run(current, args, skip_gate=False)
+        [entry] = read_journal(journal).entries
+        assert entry["config"]["mode"] == "cached"
+        assert entry["config"]["cached"] is True
 
 
 class TestJournalRun:

@@ -309,6 +309,111 @@ class TestCommands:
         assert second == first
 
 
+class TestCacheCommands:
+    @pytest.fixture(autouse=True)
+    def clean_envflags(self, monkeypatch):
+        from repro import envflags
+
+        monkeypatch.delenv(envflags.ARTIFACT_CACHE_ENV, raising=False)
+        envflags.reset()
+        yield
+        monkeypatch.undo()
+        envflags.reset()
+
+    @staticmethod
+    def seed(tmp_path, capsys):
+        """One cached ``enumerate`` run; returns (cache dir, stdout)."""
+        cache = tmp_path / "cache"
+        code = main(
+            [
+                "enumerate",
+                "s27",
+                "--max-faults",
+                "100",
+                "--p0-min-faults",
+                "20",
+                "--artifact-cache",
+                str(cache),
+            ]
+        )
+        assert code == 0
+        return cache, capsys.readouterr().out
+
+    def test_cache_requires_directory(self, capsys):
+        assert main(["cache", "ls"]) == 2
+        assert "no artifact cache directory" in capsys.readouterr().err
+
+    def test_flag_seeds_store_and_ls_lists_it(self, tmp_path, capsys):
+        cache, _ = self.seed(tmp_path, capsys)
+        assert main(["cache", "ls", "--artifact-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "enumeration" in out and "target_sets" in out
+        assert "2 entries" in out
+
+    def test_warm_run_hits_with_identical_output(self, tmp_path, capsys):
+        cache, cold_out = self.seed(tmp_path, capsys)
+        code = main(
+            [
+                "--stats",
+                "enumerate",
+                "s27",
+                "--max-faults",
+                "100",
+                "--p0-min-faults",
+                "20",
+                "--artifact-cache",
+                str(cache),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold_out
+        assert "artifact.hit" in captured.err
+        assert "artifact.miss" not in captured.err
+
+    def test_cached_output_matches_uncached(self, tmp_path, capsys):
+        plain_args = ["enumerate", "s27", "--max-faults", "100", "--p0-min-faults", "20"]
+        assert main(plain_args) == 0
+        uncached = capsys.readouterr().out
+        _, cold = self.seed(tmp_path, capsys)
+        assert cold == uncached
+
+    def test_env_var_enables_cache(self, tmp_path, capsys, monkeypatch):
+        from repro import envflags
+
+        cache = tmp_path / "cache"
+        monkeypatch.setenv(envflags.ARTIFACT_CACHE_ENV, str(cache))
+        envflags.reset()
+        code = main(
+            ["enumerate", "s27", "--max-faults", "100", "--p0-min-faults", "20"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0  # env names the store, no flag needed
+        assert "2 entries" in capsys.readouterr().out
+
+    def test_verify_clean_then_corrupt(self, tmp_path, capsys):
+        cache, _ = self.seed(tmp_path, capsys)
+        assert main(["cache", "verify", "--artifact-cache", str(cache)]) == 0
+        assert "2 intact, 0 corrupt" in capsys.readouterr().out
+        victim = sorted(cache.glob("*.npz"))[0]
+        victim.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--artifact-cache", str(cache)]) == 1
+        out = capsys.readouterr().out
+        assert f"corrupt: {victim.name}" in out
+        assert "1 intact, 1 corrupt" in out
+
+    def test_gc_evicts_to_budget(self, tmp_path, capsys):
+        cache, _ = self.seed(tmp_path, capsys)
+        code = main(
+            ["cache", "gc", "--max-bytes", "0", "--artifact-cache", str(cache)]
+        )
+        assert code == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", "--artifact-cache", str(cache)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+
 class TestJournalCommands:
     @staticmethod
     def write_journal(path, values, metric="tables_s27"):
