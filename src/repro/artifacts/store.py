@@ -24,7 +24,14 @@ them across invocations:
   any other decode failure: truncated file, not-a-zip garbage, missing
   arrays) is treated as a **miss, never an error** -- the caller
   recomputes and republishes, and the event is counted as
-  ``artifact.corrupt``.
+  ``artifact.corrupt``;
+* **self-healing quarantine** -- a corrupt or stale entry is *moved* to
+  ``<store>/quarantine/`` the moment a load trips over it (counted as
+  ``artifact.quarantined``), so one bad file is paid for once instead of
+  being re-decoded and re-counted on every subsequent run; the republish
+  then lands a fresh entry at the original path.  ``repro-pdf cache
+  verify --repair`` quarantines whatever a full scan finds and drains
+  the quarantine directory.
 
 Cache outcomes are recorded on an optional EngineStats-compatible sink
 (anything with ``count``/``hit``/``miss``/``timer``): ``artifact.hit`` /
@@ -256,7 +263,10 @@ class ArtifactStore:
         (decodes, but its stored envelope disagrees with the request --
         only possible via a key collision or a mislabelled file, so it is
         treated as corrupt too).  Every call counts exactly one of
-        ``artifact.hit`` / ``artifact.miss``.
+        ``artifact.hit`` / ``artifact.miss``.  Corrupt and stale entries
+        are quarantined on first contact (see :meth:`quarantine_entry`),
+        so the recompute-and-republish that follows this miss heals the
+        store instead of fighting the bad file.
         """
         key = artifact_key(netlist_digest, kind, params)
         path = self.path_for(kind, key)
@@ -268,6 +278,7 @@ class ArtifactStore:
         except _DECODE_ERRORS:
             self._count(stats, "artifact.miss")
             self._count(stats, "artifact.corrupt")
+            self.quarantine_entry(path, stats=stats)
             return None
         if (
             meta.get("v") != PAYLOAD_VERSION
@@ -277,6 +288,7 @@ class ArtifactStore:
         ):
             self._count(stats, "artifact.miss")
             self._count(stats, "artifact.corrupt")
+            self.quarantine_entry(path, stats=stats)
             return None
         self._count(stats, "artifact.hit")
         self._touch(path)
@@ -289,6 +301,54 @@ class ArtifactStore:
             os.utime(path)
         except OSError:
             pass  # read-only store: loads still work, gc just sees it colder
+
+    # -- quarantine (self-healing) --------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are parked (outside ``entries()``'s glob,
+        so a quarantined file stops being scanned, loaded or gc-ranked)."""
+        return self.directory / "quarantine"
+
+    def quarantine_entry(self, path: Path, *, stats=None) -> Path | None:
+        """Move one corrupt entry file into the quarantine (atomic rename).
+
+        Counted as ``artifact.quarantined``.  Collisions get a numbered
+        suffix (two corruption events of a republished key must not
+        overwrite each other's evidence).  Failures -- read-only store,
+        the file already gone because a concurrent writer republished
+        over it -- return ``None``; quarantining is an optimization,
+        never a load error.
+        """
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+        except OSError:
+            return None
+        self._count(stats, "artifact.quarantined")
+        return target
+
+    def quarantined(self) -> list[Path]:
+        """Quarantined files, oldest name first."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(p for p in self.quarantine_dir.iterdir() if p.is_file())
+
+    def drain_quarantine(self) -> list[Path]:
+        """Delete every quarantined file; returns what was removed."""
+        removed = []
+        for path in self.quarantined():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed.append(path)
+        return removed
 
     # -- maintenance (the `repro-pdf cache` subcommands) ----------------
 
@@ -321,12 +381,17 @@ class ArtifactStore:
             return None
         return meta
 
-    def verify(self) -> tuple[list[ArtifactEntry], list[ArtifactEntry]]:
+    def verify(
+        self, repair: bool = False, stats=None
+    ) -> tuple[list[ArtifactEntry], list[ArtifactEntry]]:
         """Fully decode every entry: ``(intact, corrupt)`` lists.
 
         An entry is intact when it decodes, passes its integrity digest
         and its stored envelope re-derives its own filename (so a renamed
-        or mislabelled entry is flagged as corrupt as well).
+        or mislabelled entry is flagged as corrupt as well).  With
+        ``repair=True`` each corrupt entry is quarantined on the spot and
+        the quarantine directory is drained afterwards -- the
+        ``cache verify --repair`` behaviour.
         """
         intact, corrupt = [], []
         for entry in self.entries():
@@ -340,6 +405,10 @@ class ArtifactStore:
                 corrupt.append(entry)
             else:
                 intact.append(entry)
+        if repair:
+            for entry in corrupt:
+                self.quarantine_entry(entry.path, stats=stats)
+            self.drain_quarantine()
         return intact, corrupt
 
     def gc(self, max_bytes: int) -> list[ArtifactEntry]:

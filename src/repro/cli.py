@@ -12,8 +12,11 @@ Subcommands:
   per-sha trend tables, ``gate`` flags regressions against the
   trajectory, ``validate`` schema-checks the JSONL file.
 * ``cache``     -- the persistent artifact store: ``ls`` lists entries,
-  ``verify`` integrity-checks them, ``gc`` applies a size-bounded LRU
-  eviction.
+  ``verify`` integrity-checks them (``--repair`` quarantines and drains
+  corrupt ones), ``gc`` applies a size-bounded LRU eviction.
+* ``serve``     -- the supervised job daemon over a file-based queue
+  directory; ``submit``/``status``/``cancel``/``logs`` are its client
+  verbs (see :mod:`repro.service`).
 
 One :class:`repro.engine.Engine` backs each invocation, so every stage of a
 subcommand (and every circuit of a ``tables`` sweep) shares the per-circuit
@@ -31,6 +34,7 @@ written, so journaling can never perturb the experiment output.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -364,12 +368,18 @@ def _cmd_cache_verify(args, _engine: Engine) -> int:
     store = _cache_store(args)
     if store is None:
         return 2
-    intact, corrupt = store.verify()
+    intact, corrupt = store.verify(repair=args.repair)
     for entry in corrupt:
         print(f"corrupt: {entry.path.name}")
     print(
         f"{len(intact)} intact, {len(corrupt)} corrupt in {store.directory}"
     )
+    if args.repair:
+        print(
+            f"repair: quarantined {len(corrupt)} entr"
+            f"{'y' if len(corrupt) == 1 else 'ies'}, quarantine drained"
+        )
+        return 0
     return 1 if corrupt else 0
 
 
@@ -452,6 +462,141 @@ def _cmd_journal_validate(args, _engine: Engine) -> int:
         f"{len(read.problems)} problem line(s)"
     )
     return 1 if read.problems else 0
+
+
+# -- service verbs (repro serve / submit / status / cancel / logs) ------
+
+
+def _service_queue(args):
+    from .service import JobQueue
+
+    return JobQueue(args.queue)
+
+
+def _submit_params(args) -> dict:
+    """The run configuration a submitted ``tables`` job carries."""
+    budget = _build_budget(args)
+    params = {
+        "scale": args.scale,
+        "quick": bool(args.quick),
+        "jobs": args.jobs,
+        "shards": args.shards,
+        "shard_min_faults": args.shard_min_faults,
+        "timeout": args.timeout,
+        "budget": budget.spec() if budget is not None else None,
+        "artifact_cache": getattr(args, "artifact_cache", None)
+        or artifact_cache_dir()
+        or None,
+    }
+    if args.max_faults:
+        params["max_faults"] = args.max_faults
+    if args.p0_min_faults:
+        params["p0_min_faults"] = args.p0_min_faults
+    if args.max_retries is not None:
+        from .robustness import RetryPolicy
+
+        params["retry"] = RetryPolicy(max_retries=args.max_retries).spec()
+    return {key: value for key, value in params.items() if value is not None}
+
+
+def _cmd_serve(args, _engine: Engine) -> int:
+    from .service import QueueBusyError, Supervisor
+
+    supervisor = Supervisor(
+        args.queue,
+        drain=args.drain,
+        poll_interval=args.poll_interval,
+        job_retries=args.job_retries,
+        heartbeat_interval=args.heartbeat_interval,
+        stale_after=args.stale_after,
+        artifact_cache=getattr(args, "artifact_cache", None)
+        or artifact_cache_dir()
+        or None,
+    )
+    print(
+        f"serve: queue {supervisor.queue.root} (pid {os.getpid()}, "
+        f"{'drain' if args.drain else 'daemon'} mode)",
+        file=sys.stderr,
+    )
+    try:
+        return supervisor.serve()
+    except QueueBusyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_submit(args, _engine: Engine) -> int:
+    from .journal import append_entry, service_entry
+
+    queue = _service_queue(args)
+    job = queue.submit(_submit_params(args))
+    try:
+        append_entry(
+            queue.journal_path,
+            service_entry("queued", job.id, detail={"kind": job.kind}),
+        )
+    except OSError:
+        pass
+    print(job.id)
+    print(f"submit: queued {job.id} in {args.queue}", file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args, _engine: Engine) -> int:
+    queue = _service_queue(args)
+    if args.job:
+        job = queue.find(args.job)
+        if job is None:
+            print(f"error: unknown job {args.job}", file=sys.stderr)
+            return 1
+        print(f"{job.id}  {job.status}  attempts={job.attempts}")
+        if job.result:
+            for key, value in sorted(job.result.items()):
+                print(f"  {key}: {value}")
+        return 0
+    from .service import ServiceWAL
+
+    wal = ServiceWAL(queue.wal_path)
+    owner = wal.owner()
+    state = wal.load() or {}
+    print(
+        f"daemon: {'pid ' + str(owner) if owner else 'not running'}"
+        + (f" ({state.get('phase')})" if state else "")
+    )
+    jobs = queue.jobs()
+    for job in jobs:
+        print(f"{job.id}  {job.status}  attempts={job.attempts}")
+    if not jobs:
+        print("no jobs")
+    return 0
+
+
+def _cmd_cancel(args, _engine: Engine) -> int:
+    queue = _service_queue(args)
+    job = queue.cancel(args.job)
+    if job is None:
+        known = queue.find(args.job)
+        if known is None:
+            print(f"error: unknown job {args.job}", file=sys.stderr)
+        else:
+            print(
+                f"error: job {args.job} is {known.status}; only pending "
+                f"jobs can be canceled",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"canceled {job.id}")
+    return 0
+
+
+def _cmd_logs(args, _engine: Engine) -> int:
+    queue = _service_queue(args)
+    path = queue.log_path(args.job)
+    if not path.exists():
+        print(f"error: no log for job {args.job}", file=sys.stderr)
+        return 1
+    sys.stdout.write(path.read_text("utf-8"))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -669,6 +814,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="decode and integrity-check every entry (exit 1 on corruption)",
     )
     add_cache_arg(p_cverify)
+    p_cverify.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt entries and drain the quarantine "
+        "directory (exit 0: the store is healed, intact entries kept)",
+    )
     p_cverify.set_defaults(func=_cmd_cache_verify)
 
     p_cgc = csub.add_parser(
@@ -703,7 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
         add_journal_path(p)
         p.add_argument(
             "--kind",
-            choices=("tables", "bench"),
+            choices=("tables", "bench", "service"),
             default=None,
             help="restrict to one entry kind (default: all kinds)",
         )
@@ -765,6 +916,120 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_journal_path(p_jvalidate)
     p_jvalidate.set_defaults(func=_cmd_journal_validate)
+
+    # -- service verbs --------------------------------------------------
+
+    def add_queue_arg(p):
+        p.add_argument(
+            "--queue",
+            metavar="DIR",
+            required=True,
+            help="queue directory (the whole service state: job files, "
+            "WAL, checkpoints, outputs, logs, journal)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the supervised job daemon over a file-based queue",
+    )
+    add_queue_arg(p_serve)
+    p_serve.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty instead of polling forever "
+        "(the CI mode)",
+    )
+    p_serve.add_argument(
+        "--poll-interval",
+        type=_positive_float_arg,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle sleep between queue polls (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--job-retries",
+        type=_nonnegative_int_arg,
+        default=1,
+        metavar="N",
+        help="whole-job re-runs after the parallel runner exhausted its "
+        "own retries; each resumes from the job's checkpoints "
+        "(default 1)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-interval",
+        type=_positive_float_arg,
+        default=1.0,
+        metavar="SECONDS",
+        help="how often pool workers prove liveness via per-shard "
+        "heartbeat files (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--stale-after",
+        type=_positive_float_arg,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat silence after which a started shard counts as "
+        "stuck and is killed and retried (default 30.0)",
+    )
+    add_cache_arg(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a tables sweep for the serve daemon"
+    )
+    add_queue_arg(p_submit)
+    p_submit.add_argument("--scale", choices=sorted(SCALES), default="default")
+    p_submit.add_argument(
+        "--quick", action="store_true", help="only one circuit (smoke run)"
+    )
+    p_submit.add_argument(
+        "--max-faults", type=int, default=None, help="override the scale's N_P"
+    )
+    p_submit.add_argument(
+        "--p0-min-faults", type=int, default=None, help="override the scale's N_P0"
+    )
+    p_submit.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
+        help="worker processes for the sweep (default: all CPUs)",
+    )
+    p_submit.add_argument(
+        "--shards", type=_positive_int_arg, default=None, metavar="K",
+        help="fault shards per circuit (shard-granular checkpoints make "
+        "crash recovery finer-grained)",
+    )
+    p_submit.add_argument(
+        "--shard-min-faults", type=_positive_int_arg, default=1, metavar="N",
+        help="minimum primary faults per shard (default 1)",
+    )
+    p_submit.add_argument(
+        "--timeout", type=_positive_float_arg, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget inside the runner",
+    )
+    p_submit.add_argument(
+        "--max-retries", type=_nonnegative_int_arg, default=None, metavar="N",
+        help="runner-level retry budget per shard (default: the runner's "
+        "own default with exponential backoff)",
+    )
+    add_budget_args(p_submit)
+    add_cache_arg(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="daemon liveness and per-job states of a queue"
+    )
+    add_queue_arg(p_status)
+    p_status.add_argument("job", nargs="?", default=None, help="one job id")
+    p_status.set_defaults(func=_cmd_status)
+
+    p_cancel = sub.add_parser("cancel", help="withdraw a pending job")
+    add_queue_arg(p_cancel)
+    p_cancel.add_argument("job", help="job id to cancel")
+    p_cancel.set_defaults(func=_cmd_cancel)
+
+    p_logs = sub.add_parser("logs", help="print one job's supervision log")
+    add_queue_arg(p_logs)
+    p_logs.add_argument("job", help="job id")
+    p_logs.set_defaults(func=_cmd_logs)
     return parser
 
 

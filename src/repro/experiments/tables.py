@@ -38,7 +38,7 @@ from ..parallel import (
     resolve_jobs,
 )
 from ..paths.lengths import length_table_for_faults
-from ..robustness import Budget
+from ..robustness import Budget, RetryPolicy
 from .formatters import (
     format_table1,
     format_table2,
@@ -316,6 +316,10 @@ def run_all(
     budget: Budget | None = None,
     shards: int | None = None,
     shard_min_faults: int = 1,
+    retry_policy: "RetryPolicy | None" = None,
+    heartbeat_dir: str | None = None,
+    heartbeat_interval: float | None = None,
+    stale_after: float | None = None,
 ) -> ExperimentResults:
     """Regenerate the data behind every table of the paper.
 
@@ -358,6 +362,12 @@ def run_all(
     path; the two are not byte-identical to each other.
     ``shard_min_faults`` collapses the plan for small circuits: a
     circuit never uses more shards than ``|P0| // shard_min_faults``.
+
+    ``retry_policy`` supersedes ``max_retries`` with a full backoff
+    policy, and ``heartbeat_dir``/``heartbeat_interval``/``stale_after``
+    enable the runner's per-job heartbeats and stuck-worker watchdog
+    (see :class:`repro.parallel.ParallelRunner`) -- the supervision
+    hooks the ``repro serve`` daemon threads through here.
     """
     scale = get_scale(scale)
     engine = engine or Engine()
@@ -386,8 +396,21 @@ def run_all(
     ordered = basic_names + [
         name for name in table6_names if name not in basic_names
     ]
+    supervision: dict = {}
+    if retry_policy is not None:
+        supervision["retry_policy"] = retry_policy
+    if heartbeat_dir is not None:
+        supervision["heartbeat_dir"] = heartbeat_dir
+    if heartbeat_interval is not None:
+        supervision["heartbeat_interval"] = heartbeat_interval
+    if stale_after is not None:
+        supervision["stale_after"] = stale_after
     runner = ParallelRunner(
-        n_jobs, engine=engine, max_retries=max_retries, timeout=timeout
+        n_jobs,
+        engine=engine,
+        max_retries=max_retries,
+        timeout=timeout,
+        **supervision,
     )
     if shards is not None:
         shard_jobs = [

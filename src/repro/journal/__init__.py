@@ -35,9 +35,11 @@ from .report import format_value, render_report, report_rows
 from .schema import (
     KINDS,
     SCHEMA_VERSION,
+    SERVICE_EVENTS,
     bench_entry,
     git_sha,
     machine_fingerprint,
+    service_entry,
     tables_entry,
     utc_now,
     validate_entry,
@@ -47,12 +49,14 @@ from .writer import JournalSchemaError, append_entry, encode_entry
 __all__ = [
     "SCHEMA_VERSION",
     "KINDS",
+    "SERVICE_EVENTS",
     "validate_entry",
     "machine_fingerprint",
     "git_sha",
     "utc_now",
     "tables_entry",
     "bench_entry",
+    "service_entry",
     "append_entry",
     "encode_entry",
     "JournalSchemaError",

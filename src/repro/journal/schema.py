@@ -11,7 +11,9 @@ Entry layout (``v`` = :data:`SCHEMA_VERSION`):
 
 * ``v``       -- schema version (int, required);
 * ``kind``    -- what produced the entry: ``"tables"`` for experiment
-  sweeps, ``"bench"`` for ``tools/bench_compare.py`` runs (required);
+  sweeps, ``"bench"`` for ``tools/bench_compare.py`` runs,
+  ``"service"`` for job-lifecycle events of the ``repro serve`` daemon
+  (required);
 * ``ts``      -- UTC ISO-8601 timestamp (required);
 * ``sha``     -- git commit of the measured tree, ``"unknown"`` outside
   a repository (required);
@@ -31,8 +33,23 @@ Entry layout (``v`` = :data:`SCHEMA_VERSION`):
 * ``caches``  -- per-cache ``{hit, miss, rate}`` from ``EngineStats``;
 * ``jobs``    -- per-job/per-shard runner records (key, wall seconds).
 
+``"service"`` entries (schema v2) additionally require:
+
+* ``event`` -- lifecycle transition, one of :data:`SERVICE_EVENTS`
+  (``queued``/``leased``/``heartbeat``/``retried``/``readopted``/
+  ``released``/``degraded``/``failed``/``done``/``canceled``/
+  ``shutdown``);
+* ``job``   -- the job id the event belongs to (non-empty string).
+
+Their ``metrics`` map may be empty (lifecycle events are not trend
+points unless they carry one, e.g. ``service.wall_seconds`` on
+``done``), which keeps them invisible to the trajectory gate.
+
 Only the required keys are enforced; optional sections may be absent so
-old entries stay valid as the builders grow richer.
+old entries stay valid as the builders grow richer.  Version history:
+v1 -- tables/bench entries; v2 -- adds the ``service`` kind (v1 entries
+remain valid: readers are tolerant and the version check only rejects
+entries *newer* than the library).
 """
 
 from __future__ import annotations
@@ -50,6 +67,7 @@ if TYPE_CHECKING:
 __all__ = [
     "SCHEMA_VERSION",
     "KINDS",
+    "SERVICE_EVENTS",
     "validate_entry",
     "machine_fingerprint",
     "git_sha",
@@ -57,13 +75,29 @@ __all__ = [
     "utc_now",
     "tables_entry",
     "bench_entry",
+    "service_entry",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Known entry producers.  Unknown kinds fail validation: a journal is a
 #: long-lived committed artifact, so typos must not dilute a series.
-KINDS = ("tables", "bench")
+KINDS = ("tables", "bench", "service")
+
+#: Job-lifecycle transitions a ``"service"`` entry may record.
+SERVICE_EVENTS = (
+    "queued",
+    "leased",
+    "heartbeat",
+    "retried",
+    "readopted",
+    "released",
+    "degraded",
+    "failed",
+    "done",
+    "canceled",
+    "shutdown",
+)
 
 #: Session caches whose hit/miss counters are worth journaling
 #: ("artifact" is the persistent on-disk store of :mod:`repro.artifacts`).
@@ -102,6 +136,15 @@ def validate_entry(entry: object) -> list[str]:
         for name, value in metrics.items():
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 problems.append(f"metric {name!r} is not a number")
+    if kind == "service":
+        event = entry.get("event")
+        if event not in SERVICE_EVENTS:
+            problems.append(
+                f"service event must be one of {SERVICE_EVENTS}, got {event!r}"
+            )
+        job = entry.get("job")
+        if not isinstance(job, str) or not job:
+            problems.append("service entry missing job id 'job'")
     return problems
 
 
@@ -266,4 +309,38 @@ def bench_entry(
         name: float(value) for name, value in payload.get("results", {}).items()
     }
     entry["config"] = dict(config or {})
+    return entry
+
+
+def service_entry(
+    event: str,
+    job: str,
+    *,
+    detail: Mapping | None = None,
+    metrics: Mapping | None = None,
+    sha: str | None = None,
+    ts: str | None = None,
+    machine: dict | None = None,
+    dirty: bool | None = None,
+) -> dict:
+    """Journal entry for one job-lifecycle event of the service daemon.
+
+    ``detail`` is free-form context for humans and tests (attempt
+    numbers, failure phases, queue paths); ``metrics`` defaults to ``{}``
+    so lifecycle chatter never feeds the trajectory gate -- only events
+    that explicitly carry a cost series (``done`` with
+    ``service.wall_seconds``) become trend points.
+    """
+    if event not in SERVICE_EVENTS:
+        raise ValueError(
+            f"service event must be one of {SERVICE_EVENTS}, got {event!r}"
+        )
+    entry = _base_entry("service", sha, ts, machine, dirty)
+    entry["event"] = event
+    entry["job"] = job
+    entry["metrics"] = {
+        name: float(value) for name, value in (metrics or {}).items()
+    }
+    if detail:
+        entry["detail"] = dict(detail)
     return entry

@@ -1,8 +1,16 @@
 """Parallel execution layer: per-circuit fan-out over a process pool,
 intra-circuit fault sharding with deterministic merge, retry/salvage
-fault tolerance and checkpoint/resume persistence."""
+fault tolerance with backoff, per-job heartbeats with a stuck-worker
+watchdog, and checkpoint/resume persistence."""
 
 from .checkpoint import RunCheckpoint
+from .heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_STALE_AFTER,
+    HeartbeatWriter,
+    Watchdog,
+    heartbeat_path,
+)
 from .runner import (
     CircuitJob,
     CircuitJobResult,
@@ -24,7 +32,12 @@ from .sharding import (
 __all__ = [
     "CircuitJob",
     "CircuitJobResult",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_STALE_AFTER",
     "FaultShardJob",
+    "HeartbeatWriter",
+    "Watchdog",
+    "heartbeat_path",
     "JobFailure",
     "ParallelRunError",
     "ParallelRunner",

@@ -34,14 +34,28 @@ A multi-circuit sweep costs tens of CPU-minutes; one crashed worker must
 not discard every finished circuit.  Workers therefore never propagate
 exceptions: job bodies run guarded and ship back a structured
 :class:`JobFailure` (circuit, phase, traceback).  The runner applies a
-retry policy (``max_retries`` extra attempts per job, default 1), treats
-a completion-free window longer than ``timeout`` seconds as a timeout of
-every outstanding job, and falls back to in-process execution when the
-pool machinery itself breaks (``BrokenProcessPool`` -- e.g. a worker
-OOM-killed mid-job).  Only after every retry is exhausted does it raise a
-single aggregated :class:`ParallelRunError` carrying all salvaged
-results.  Retries, timeouts, fallbacks and failures are recorded on the
-parent engine's stats under ``parallel.*`` counters.
+:class:`~repro.robustness.RetryPolicy` (``max_retries`` extra attempts
+per job with exponential backoff, jitter and a delay cap -- immediate
+hot-loop resubmission is gone; waits are recorded under the
+``parallel.retry_wait_seconds`` timer), treats a completion-free window
+longer than ``timeout`` seconds as a timeout of every outstanding job,
+and falls back to in-process execution when the pool machinery itself
+breaks (``BrokenProcessPool`` -- e.g. a worker OOM-killed or SIGKILLed
+mid-job).  Only after every retry is exhausted does it raise a single
+aggregated :class:`ParallelRunError` carrying all salvaged results.
+Retries, timeouts, fallbacks and failures are recorded on the parent
+engine's stats under ``parallel.*`` counters.
+
+With ``heartbeat_dir`` set, every pool worker additionally proves
+liveness through a per-job heartbeat file
+(:class:`~repro.parallel.heartbeat.HeartbeatWriter`), and a
+:class:`~repro.parallel.heartbeat.Watchdog` distinguishes *stuck*
+workers (started beating, then silent past ``stale_after``) from merely
+slow ones: stuck jobs are killed and retried (``phase="stuck"``,
+``parallel.stuck`` counter) while healthy in-flight neighbours are
+re-queued without consuming an attempt.  Crashed workers keep their own
+signature (``BrokenProcessPool``), so the supervision layer above can
+tell the three failure modes apart.
 
 Passing a :class:`~repro.parallel.checkpoint.RunCheckpoint` to
 :meth:`ParallelRunner.run` additionally persists every finished result
@@ -59,13 +73,22 @@ import time
 import traceback as _tb
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..artifacts import ArtifactStore
 from ..engine import Engine
 from ..engine.stats import EngineStats
-from ..robustness import Budget
+from ..robustness import Budget, RetryPolicy
+from .heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_STALE_AFTER,
+    HeartbeatWriter,
+    Watchdog,
+    heartbeat_path,
+)
 from .sharding import FaultShardJob, ShardJobResult, run_fault_shard_job
 
 if TYPE_CHECKING:  # experiments imports parallel; keep the reverse type-only
@@ -294,7 +317,12 @@ def _inject_chaos(job: "Job", attempt: int, in_worker: bool) -> None:
     * ``REPRO_INJECT_SLEEP=<name>:<seconds>`` -- stall the job (drives
       the timeout path);
     * ``REPRO_INJECT_EXIT=<name>`` -- kill the worker process outright
-      (pool workers only; simulates an OOM kill -> ``BrokenProcessPool``).
+      (pool workers only; simulates an OOM kill -> ``BrokenProcessPool``);
+    * ``REPRO_INJECT_EXIT_SIGKILL=<name>[:<n>]`` -- SIGKILL the worker
+      process for the first ``n`` attempts (default: every attempt; pool
+      workers only).  Unlike ``os._exit``, SIGKILL gives the process
+      zero chance to flush or clean up -- the hardest crash the service
+      supervisor must recover from.
 
     ``<name>`` matches either the job's circuit (every shard of it) or
     its full key (``circuit#shard`` targets one specific shard).
@@ -308,6 +336,11 @@ def _inject_chaos(job: "Job", attempt: int, in_worker: bool) -> None:
     spec = os.environ.get("REPRO_INJECT_EXIT")
     if spec and in_worker and spec in names:
         os._exit(13)
+    spec = os.environ.get("REPRO_INJECT_EXIT_SIGKILL")
+    if spec and in_worker:
+        name, _, count = spec.partition(":")
+        if name in names and attempt < (int(count) if count else 1 << 30):
+            os.kill(os.getpid(), signal.SIGKILL)
     spec = os.environ.get("REPRO_INJECT_FAIL")
     if spec:
         name, _, count = spec.partition(":")
@@ -384,6 +417,8 @@ def _pool_entry(
     budget: Budget | None = None,
     timeout: float | None = None,
     artifact_cache: str | None = None,
+    heartbeat_dir: str | None = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
 ) -> "CircuitJobResult | ShardJobResult | JobFailure":
     """Guarded pool-worker entry point: never raises, ships stats back.
 
@@ -401,6 +436,10 @@ def _pool_entry(
     run opens the *same* store -- N shards of one circuit load one
     shared enumeration instead of recomputing it N times.  ``None``
     still honours ``REPRO_ARTIFACT_CACHE`` via the fresh engine.
+
+    With ``heartbeat_dir`` set, a :class:`HeartbeatWriter` thread proves
+    this worker's liveness under the job's key for the whole job body,
+    so the parent's watchdog can tell a stuck worker from a slow one.
     """
     engine = Engine(
         artifacts=ArtifactStore(artifact_cache) if artifact_cache else None
@@ -416,8 +455,16 @@ def _pool_entry(
             )
         except (ValueError, OSError):  # non-main thread / unsupported platform
             previous_handler = None
+    heartbeat = (
+        HeartbeatWriter(
+            heartbeat_path(heartbeat_dir, job.key), heartbeat_interval
+        )
+        if heartbeat_dir
+        else nullcontext()
+    )
     try:
-        outcome = _run_job_guarded(job, engine, attempt, in_worker=True)
+        with heartbeat:
+            outcome = _run_job_guarded(job, engine, attempt, in_worker=True)
     finally:
         if previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
@@ -447,6 +494,24 @@ class ParallelRunner:
         workers build their own and their stats are merged back into it.
     max_retries:
         Extra attempts per job after its first failure (default 1).
+        Shorthand for ``retry_policy=RetryPolicy(max_retries=...)``.
+    retry_policy:
+        Full :class:`~repro.robustness.RetryPolicy` (backoff curve,
+        jitter, cap) governing the waits between attempts.  When given
+        it takes precedence over ``max_retries``.  Waits land on the
+        ``parallel.retry_wait_seconds`` stats timer.
+    heartbeat_dir:
+        Directory where pool workers write per-job heartbeat files.
+        Enables the watchdog: a job that started beating and then went
+        silent for ``stale_after`` seconds is declared *stuck*, its
+        workers are terminated, and it is retried (consuming an
+        attempt); healthy in-flight neighbours are re-queued without
+        consuming one.  ``None`` (default) disables heartbeats -- the
+        pre-supervision behaviour.
+    heartbeat_interval / stale_after:
+        Beat period and silence threshold in seconds (defaults
+        :data:`~repro.parallel.heartbeat.DEFAULT_HEARTBEAT_INTERVAL` /
+        :data:`~repro.parallel.heartbeat.DEFAULT_STALE_AFTER`).
     timeout:
         Optional per-job wall-clock budget in seconds.  Enforced
         *cooperatively* first: each job attempt runs under a
@@ -474,12 +539,33 @@ class ParallelRunner:
         max_retries: int = 1,
         timeout: float | None = None,
         budget: Budget | None = None,
+        retry_policy: RetryPolicy | None = None,
+        heartbeat_dir: "str | Path | None" = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        stale_after: float | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.engine = engine if engine is not None else Engine()
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-        self.max_retries = int(max_retries)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_retries=int(max_retries))
+        )
+        self.max_retries = self.retry_policy.max_retries
+        self.heartbeat_dir = str(heartbeat_dir) if heartbeat_dir else None
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        self.heartbeat_interval = float(heartbeat_interval)
+        if stale_after is not None and stale_after <= 0:
+            raise ValueError(f"stale_after must be > 0, got {stale_after}")
+        self.stale_after = (
+            float(stale_after) if stale_after is not None else DEFAULT_STALE_AFTER
+        )
+        self._retry_counts: dict[str, int] = {}
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         self.timeout = timeout
@@ -512,6 +598,7 @@ class ParallelRunner:
         results: "dict[str, CircuitJobResult | ShardJobResult]" = {}
         failures: list[JobFailure] = []
         pending: "list[Job]" = []
+        self._retry_counts = {}
         if self.budget is not None:
             self.budget.start()
         if checkpoint is not None and checkpoint.stats is None:
@@ -563,10 +650,29 @@ class ParallelRunner:
         if result.stats is not None:
             self.engine.stats.merge(result.stats)
         results[result.key] = result
-        self._journal_record(job, wall_seconds=round(result.wall_seconds, 6))
+        extra: dict = {"wall_seconds": round(result.wall_seconds, 6)}
+        retries = self._retry_counts.get(job.key, 0)
+        if retries:
+            extra["retries"] = retries
+        self._journal_record(job, **extra)
         if checkpoint is not None:
             checkpoint.save(result, job)
             self.engine.stats.count("parallel.checkpointed")
+
+    def _count_retry(self, job: "Job") -> None:
+        self.engine.stats.count("parallel.retries")
+        self._retry_counts[job.key] = self._retry_counts.get(job.key, 0) + 1
+
+    def _backoff(self, delay: float) -> None:
+        """Wait ``delay`` seconds before the next attempt, on the record.
+
+        Every wait lands on the ``parallel.retry_wait_seconds`` timer so
+        a run's journal entry proves retries were *paced* (bounded
+        backoff) rather than hot-looped.
+        """
+        if delay > 0:
+            self.engine.stats.add_time("parallel.retry_wait_seconds", delay)
+            time.sleep(delay)
 
     def _attempt_serial(
         self, job: "Job", failures: list[JobFailure]
@@ -581,7 +687,8 @@ class ParallelRunner:
         last: JobFailure | None = None
         for attempt in range(self.max_retries + 1):
             if attempt:
-                self.engine.stats.count("parallel.retries")
+                self._count_retry(job)
+                self._backoff(self.retry_policy.delay(attempt, job.key))
             effective = _effective_budget(self.budget, self.timeout, job)
             if effective is None:
                 outcome = _run_job_guarded(
@@ -630,26 +737,32 @@ class ParallelRunner:
                 queue, results, checkpoint
             )
             queue = []
+            retried: "list[tuple[Job, int]]" = []
             for job, attempt, failure in failed:
                 if attempt < self.max_retries:
-                    self.engine.stats.count("parallel.retries")
-                    queue.append((job, attempt + 1))
+                    self._count_retry(job)
+                    retried.append((job, attempt + 1))
                 else:
                     failures.append(failure)
-            for job, attempt in timed_out:
-                self.engine.stats.count("parallel.timeouts")
+            for job, attempt, phase in timed_out:
+                if phase == "stuck":
+                    self.engine.stats.count("parallel.stuck")
+                    message = (
+                        f"no heartbeat within {self.stale_after}s"
+                    )
+                else:
+                    self.engine.stats.count("parallel.timeouts")
+                    message = f"no completion within {self.timeout}s"
                 if attempt < self.max_retries:
-                    self.engine.stats.count("parallel.retries")
-                    queue.append((job, attempt + 1))
+                    self._count_retry(job)
+                    retried.append((job, attempt + 1))
                 else:
                     failures.append(
                         JobFailure(
                             circuit=job.key,
-                            phase="timeout",
+                            phase=phase,
                             error="TimeoutError",
-                            message=(
-                                f"no completion within {self.timeout}s"
-                            ),
+                            message=message,
                             attempt=attempt,
                         )
                     )
@@ -658,13 +771,38 @@ class ParallelRunner:
                 # mid-job); a new pool over the same jobs would face the
                 # same hazard, so finish everything left in-process.
                 self.engine.stats.count("parallel.pool_broken")
-                fallback = unfinished + queue
+                fallback = unfinished + retried
                 self.engine.stats.count("parallel.fallback", len(fallback))
+                for job, _attempt in unfinished:
+                    # With heartbeats on, a beat file proves this job had
+                    # started when the pool died: its in-process rerun is
+                    # a genuine second attempt, recorded as a retry so
+                    # the journal shows the crash was recovered.  Jobs
+                    # still in the backlog (no beat) never ran and are
+                    # not charged.
+                    if self.heartbeat_dir and heartbeat_path(
+                        self.heartbeat_dir, job.key
+                    ).exists():
+                        self._count_retry(job)
                 for job, _attempt in fallback:
                     outcome = self._attempt_serial(job, failures)
                     if outcome is not None:
                         self._record(job, outcome, results, checkpoint)
                 return
+            if retried:
+                # One paced wait covers the whole retry batch: the
+                # longest backoff among them (per-job sleeps would
+                # serialize an otherwise-parallel round).
+                self._backoff(
+                    max(
+                        self.retry_policy.delay(attempt, job.key)
+                        for job, attempt in retried
+                    )
+                )
+            # A stuck neighbour forced the pool down mid-round; healthy
+            # in-flight jobs rerun at their *current* attempt (no retry
+            # consumed -- they did nothing wrong).
+            queue = unfinished + retried
 
     @staticmethod
     def _terminate_workers(pool: ProcessPoolExecutor) -> None:
@@ -694,14 +832,21 @@ class ParallelRunner:
         checkpoint: "RunCheckpoint | None",
     ) -> tuple[
         "list[tuple[Job, int, JobFailure]]",
-        "list[tuple[Job, int]]",
+        "list[tuple[Job, int, str]]",
         "list[tuple[Job, int]]",
         bool,
     ]:
         """One pool pass over ``queue``; completed results are recorded
-        (and checkpointed) eagerly, in completion order."""
+        (and checkpointed) eagerly, in completion order.
+
+        ``timed_out`` entries carry the cause as their third element:
+        ``"timeout"`` (the completion-free hard backstop tripped; every
+        outstanding job is charged) or ``"stuck"`` (the watchdog saw that
+        specific job's heartbeat go silent; only it is charged, healthy
+        in-flight neighbours come back in ``unfinished``).
+        """
         failed: "list[tuple[Job, int, JobFailure]]" = []
-        timed_out: "list[tuple[Job, int]]" = []
+        timed_out: "list[tuple[Job, int, str]]" = []
         unfinished: "list[tuple[Job, int]]" = []
         broken = False
         workers = min(self.jobs, len(queue))
@@ -716,6 +861,32 @@ class ParallelRunner:
         wait_timeout = (
             self.timeout * 1.25 + 1.0 if self.timeout is not None else None
         )
+        watchdog = (
+            Watchdog(Path(self.heartbeat_dir), self.stale_after)
+            if self.heartbeat_dir
+            else None
+        )
+        # With a watchdog, wake often enough to read heartbeats between
+        # completions; the hard backstop then accumulates across slices
+        # via `last_progress` instead of spanning one long wait().
+        if watchdog is None:
+            slice_timeout = wait_timeout
+        else:
+            slice_timeout = max(self.stale_after / 2.0, 0.05)
+            if wait_timeout is not None:
+                slice_timeout = min(slice_timeout, wait_timeout)
+        if self.heartbeat_dir:
+            # A retried (or re-queued) job's previous attempt left a stale
+            # heartbeat file; without clearing it the watchdog would read
+            # the old mtime and declare the fresh attempt stuck while it
+            # is still queued in the pool backlog.
+            for job, _attempt in queue:
+                try:
+                    heartbeat_path(self.heartbeat_dir, job.key).unlink(
+                        missing_ok=True
+                    )
+                except OSError:
+                    pass
         try:
             future_map = {
                 pool.submit(
@@ -725,26 +896,50 @@ class ParallelRunner:
                     self.budget.forked() if self.budget is not None else None,
                     self.timeout,
                     self.artifact_cache,
+                    self.heartbeat_dir,
+                    self.heartbeat_interval,
                 ): (job, attempt)
                 for job, attempt in queue
             }
             # `remaining` = futures not yet handed off to an outcome list;
             # everything still in it when the pool breaks must be re-run.
             remaining = set(future_map)
+            last_progress = time.monotonic()
             while remaining and not broken:
                 done, _ = wait(
-                    remaining, timeout=wait_timeout, return_when=FIRST_COMPLETED
+                    remaining, timeout=slice_timeout, return_when=FIRST_COMPLETED
                 )
                 if not done:
-                    # Nothing finished within the per-job budget: every
-                    # outstanding job has been running at least that long.
+                    # Nothing finished this slice.  Charge everything if
+                    # the completion-free window exhausted the hard
+                    # backstop; otherwise consult the watchdog and only
+                    # kill the pool when a started job went silent.
+                    hard = wait_timeout is not None and (
+                        time.monotonic() - last_progress >= wait_timeout - 0.05
+                    )
+                    stuck_keys: set[str] = set()
+                    if not hard and watchdog is not None:
+                        _, stuck = watchdog.classify(
+                            [future_map[f][0].key for f in remaining],
+                            time.time(),
+                        )
+                        stuck_keys = set(stuck)
+                    if not hard and not stuck_keys:
+                        continue
                     for future in remaining:
                         future.cancel()
-                        timed_out.append(future_map[future])
+                        job, attempt = future_map[future]
+                        if hard:
+                            timed_out.append((job, attempt, "timeout"))
+                        elif job.key in stuck_keys:
+                            timed_out.append((job, attempt, "stuck"))
+                        else:
+                            unfinished.append((job, attempt))
                     remaining = set()
                     clean = False
                     self._terminate_workers(pool)
                     break
+                last_progress = time.monotonic()
                 for future in done:
                     remaining.discard(future)
                     job, attempt = future_map[future]

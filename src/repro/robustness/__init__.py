@@ -25,9 +25,11 @@ from .budget import (
     budget_from_profile,
 )
 from .errors import BudgetExceeded, InternalInvariantError, ReproError
+from .retry import RetryPolicy
 
 __all__ = [
     "Budget",
+    "RetryPolicy",
     "AbortedFault",
     "BudgetExceeded",
     "InternalInvariantError",

@@ -1,0 +1,96 @@
+"""Write-ahead state of the ``repro serve`` daemon.
+
+One small JSON file (``<queue>/wal.json``) answers the two questions a
+starting daemon must ask before touching the queue:
+
+* **is another daemon alive?** -- the WAL records the owner's pid; a
+  recorded pid that still exists means the queue is owned and the
+  newcomer must refuse to start (two daemons would double-run jobs);
+* **did the previous daemon die?** -- a recorded pid that no longer
+  exists is a crash signature: the newcomer re-adopts the dead daemon's
+  leased jobs (:meth:`repro.service.queue.JobQueue.adopt_orphans`) and
+  continues them from their checkpoints.
+
+Every state change is written with the atomic temp-file + ``os.replace``
+discipline checkpoints use, so the WAL is always either the old complete
+state or the new complete state -- never a torn write.  A daemon updates
+it at each phase transition (``starting``/``idle``/``running``/
+``stopped``) and stamps the current job id while one is leased, which
+makes the file double as a liveness/status probe for ``repro status``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["ServiceWAL", "pid_alive"]
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a recorded daemon pid."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class ServiceWAL:
+    """Atomic read/write access to one daemon state file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict | None:
+        """The recorded state, or ``None`` when absent/unreadable.
+
+        Corruption is treated as absence: the WAL is advisory daemon
+        state, and the job files themselves (plus their checkpoints) are
+        the durable truth -- a torn WAL must never brick the queue.
+        """
+        try:
+            state = json.loads(self.path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        return state if isinstance(state, dict) else None
+
+    def write(self, phase: str, job: str | None = None, pid: int | None = None) -> dict:
+        """Persist the daemon's current phase (atomic replace)."""
+        state = {
+            "v": 1,
+            "pid": os.getpid() if pid is None else pid,
+            "phase": phase,
+            "job": job,
+            "updated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.parent / f".{self.path.name}.{os.getpid()}.tmp"
+        tmp.write_text(
+            json.dumps(state, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        return state
+
+    def owner(self) -> int | None:
+        """Pid of a *live* daemon recorded as owning this queue.
+
+        ``None`` when there is no WAL, the recorded daemon already wrote
+        its terminal ``stopped`` phase, or its pid is gone (crashed --
+        the re-adoption case).
+        """
+        state = self.load()
+        if not state or state.get("phase") == "stopped":
+            return None
+        pid = state.get("pid")
+        if isinstance(pid, int) and pid_alive(pid):
+            return pid
+        return None

@@ -183,6 +183,104 @@ class TestCorruption:
         assert stats.counter("artifact.corrupt") == 1
 
 
+class TestQuarantine:
+    """Self-healing: a corrupt entry is paid for once.  The first load
+    that trips over it moves it to ``<store>/quarantine/``; subsequent
+    loads see a plain absent-miss, and a republish lands cleanly."""
+
+    def test_corrupt_load_moves_file_to_quarantine(self, tmp_path):
+        stats = EngineStats()
+        store, path = seeded(tmp_path, stats=stats)
+        corrupt_garbage(path)
+        assert store.load(DIGEST, "enumeration", PARAMS) is None
+        assert not path.exists()
+        assert [p.name for p in store.quarantined()] == [path.name]
+        assert stats.counter("artifact.quarantined") == 1
+
+    def test_second_load_does_not_recount_corrupt(self, tmp_path):
+        stats = EngineStats()
+        store, path = seeded(tmp_path, stats=stats)
+        corrupt_garbage(path)
+        store.load(DIGEST, "enumeration", PARAMS)
+        store.load(DIGEST, "enumeration", PARAMS)  # file already parked
+        assert stats.counter("artifact.corrupt") == 1
+        assert stats.counter("artifact.quarantined") == 1
+        assert stats.counter("artifact.miss") == 2
+
+    def test_stale_envelope_also_quarantined(self, tmp_path):
+        stats = EngineStats()
+        store, path = seeded(tmp_path, stats=stats)
+        other = {**PARAMS, "max_faults": 7}
+        mislabelled = store.path_for(
+            "enumeration", artifact_key(DIGEST, "enumeration", other)
+        )
+        os.replace(path, mislabelled)
+        assert store.load(DIGEST, "enumeration", other) is None
+        assert not mislabelled.exists()
+        assert stats.counter("artifact.quarantined") == 1
+
+    def test_quarantined_entries_invisible_to_scan_and_gc(self, tmp_path):
+        store, path = seeded(tmp_path)
+        corrupt_garbage(path)
+        store.load(DIGEST, "enumeration", PARAMS)
+        assert store.entries() == []
+        assert store.total_bytes() == 0
+        assert store.gc(max_bytes=0) == []
+        assert len(store.quarantined()) == 1  # gc leaves evidence alone
+
+    def test_collisions_keep_both_corruption_events(self, tmp_path):
+        store, path = seeded(tmp_path)
+        corrupt_garbage(path)
+        store.load(DIGEST, "enumeration", PARAMS)
+        # Republish, corrupt again: the second event must not overwrite
+        # the first file's evidence.
+        store.publish(DIGEST, "enumeration", PARAMS, sample_arrays(), {})
+        corrupt_truncated(store.path_for("enumeration", artifact_key(DIGEST, "enumeration", PARAMS)))
+        store.load(DIGEST, "enumeration", PARAMS)
+        names = [p.name for p in store.quarantined()]
+        assert len(names) == 2
+        assert names[0] == path.name and names[1] == f"{path.name}.1"
+
+    def test_republish_after_quarantine_round_trips(self, tmp_path):
+        store, path = seeded(tmp_path)
+        corrupt_zero_byte(path)
+        store.load(DIGEST, "enumeration", PARAMS)
+        store.publish(DIGEST, "enumeration", PARAMS, sample_arrays(), {"cap_hit": False})
+        payload, arrays = store.load(DIGEST, "enumeration", PARAMS)
+        assert payload == {"cap_hit": False}
+        assert np.array_equal(arrays["nodes"], sample_arrays()["nodes"])
+
+    def test_verify_repair_quarantines_and_drains(self, tmp_path):
+        stats = EngineStats()
+        store, path = seeded(tmp_path)
+        victim = store.publish(DIGEST, "target_sets", PARAMS, sample_arrays(), {})
+        corrupt_garbage(victim)
+        intact, corrupt = store.verify(repair=True, stats=stats)
+        assert [e.path for e in intact] == [path]
+        assert [e.path for e in corrupt] == [victim]
+        assert stats.counter("artifact.quarantined") == 1
+        assert store.quarantined() == []  # drained afterwards
+        assert not victim.exists()
+        # The healthy entry is untouched and the scan is now clean.
+        assert store.verify() == ([e for e in store.entries()], [])
+
+    def test_verify_without_repair_leaves_files_in_place(self, tmp_path):
+        store, path = seeded(tmp_path)
+        corrupt_garbage(path)
+        _, corrupt = store.verify()
+        assert [e.path for e in corrupt] == [path]
+        assert path.exists()
+        assert store.quarantined() == []
+
+    def test_drain_quarantine_returns_removed(self, tmp_path):
+        store, path = seeded(tmp_path)
+        corrupt_garbage(path)
+        store.load(DIGEST, "enumeration", PARAMS)
+        [parked] = store.quarantined()
+        assert store.drain_quarantine() == [parked]
+        assert store.quarantined() == []
+
+
 class TestMaintenance:
     def test_entries_newest_first(self, tmp_path):
         store, first = seeded(tmp_path)

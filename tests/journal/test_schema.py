@@ -15,11 +15,13 @@ from repro.experiments.results import (
 )
 from repro.journal import (
     SCHEMA_VERSION,
+    SERVICE_EVENTS,
     JournalSchemaError,
     append_entry,
     encode_entry,
     read_journal,
     report_rows,
+    service_entry,
     tables_entry,
     validate_entry,
 )
@@ -217,6 +219,105 @@ class TestBuilders:
         stats.count("backend.packed.runs", 7)
         entry = tables_entry(sample_results(), stats, wall_seconds=1.0, sha="f" * 40)
         assert entry["counters"]["backend.packed.runs"] == 7
+
+
+class TestServiceEntries:
+    """Schema v2: job-lifecycle events from the ``repro serve`` daemon."""
+
+    def test_builder_produces_valid_entry(self):
+        entry = service_entry(
+            "done",
+            "job-1",
+            metrics={"service.wall_seconds": 2.5},
+            detail={"attempts": 1},
+            sha="a" * 40,
+            ts="2026-08-07T00:00:00+00:00",
+        )
+        assert validate_entry(entry) == []
+        assert entry["v"] == SCHEMA_VERSION
+        assert entry["kind"] == "service"
+        assert entry["event"] == "done"
+        assert entry["job"] == "job-1"
+        assert entry["metrics"] == {"service.wall_seconds": 2.5}
+        assert entry["detail"] == {"attempts": 1}
+
+    def test_metrics_default_to_empty(self):
+        # Lifecycle chatter must not become trajectory trend points.
+        entry = service_entry("leased", "job-1", sha="a" * 40)
+        assert entry["metrics"] == {}
+        assert validate_entry(entry) == []
+
+    @pytest.mark.parametrize("event", SERVICE_EVENTS)
+    def test_every_lifecycle_event_accepted(self, event):
+        assert validate_entry(service_entry(event, "job-1", sha="a" * 40)) == []
+
+    def test_builder_rejects_unknown_event(self):
+        with pytest.raises(ValueError):
+            service_entry("vibing", "job-1")
+
+    def test_validate_rejects_unknown_event(self):
+        entry = service_entry("done", "job-1", sha="a" * 40)
+        entry["event"] = "vibing"
+        assert validate_entry(entry) != []
+
+    def test_validate_requires_job_id(self):
+        entry = service_entry("done", "job-1", sha="a" * 40)
+        del entry["job"]
+        assert validate_entry(entry) != []
+        entry["job"] = ""
+        assert validate_entry(entry) != []
+
+    def test_non_service_kinds_skip_service_checks(self):
+        # A bench entry without event/job stays valid: the new required
+        # keys are scoped to kind == "service".
+        assert validate_entry(minimal_entry()) == []
+
+
+class TestMixedVersionJournals:
+    """Tolerant reader: a journal written across schema versions keeps
+    working -- v1 tables/bench lines stay valid next to v2 service
+    lines, and only entries *newer* than the library are rejected."""
+
+    def test_v1_entries_remain_valid(self):
+        assert validate_entry(minimal_entry(v=1)) == []
+
+    def test_mixed_journal_reads_clean(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        v1 = minimal_entry(v=1, sha="1" * 40, metrics={"tables_s27": 0.4})
+        v2 = minimal_entry(sha="2" * 40, metrics={"tables_s27": 0.3})
+        lifecycle = service_entry(
+            "done",
+            "job-1",
+            metrics={"service.wall_seconds": 1.0},
+            sha="3" * 40,
+            ts="2026-08-07T00:00:00+00:00",
+        )
+        for entry in (v1, v2, lifecycle):
+            append_entry(journal, entry)
+        read = read_journal(journal)
+        assert read.problems == []
+        assert [e.get("v") for e in read.entries] == [1, 2, 2]
+
+    def test_report_spans_versions(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        append_entry(
+            journal, minimal_entry(v=1, sha="1" * 40, metrics={"tables_s27": 0.4})
+        )
+        append_entry(
+            journal, minimal_entry(sha="2" * 40, metrics={"tables_s27": 0.2})
+        )
+        headers, rows = report_rows(read_journal(journal).entries)
+        assert headers == ["metric", "1111111", "2222222"]
+        assert rows == [["tables_s27", "0.4", "0.2"]]
+
+    def test_future_version_flagged_not_fatal(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        append_entry(journal, minimal_entry())
+        with journal.open("a") as handle:
+            handle.write(json.dumps(minimal_entry(v=SCHEMA_VERSION + 1)) + "\n")
+        read = read_journal(journal)
+        assert len(read.entries) == 1  # the good line still parses
+        assert read.problems != []
 
 
 class TestRoundTrip:

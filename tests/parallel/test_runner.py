@@ -26,6 +26,7 @@ from repro.parallel import (
     resolve_jobs,
     run_circuit_job,
 )
+from repro.robustness import RetryPolicy
 
 TINY = ExperimentScale(
     name="tiny", max_faults=120, p0_min_faults=30, max_secondary_attempts=4, seed=1
@@ -243,6 +244,142 @@ class TestFailurePaths:
             ParallelRunner(jobs=1, max_retries=-1)
         with pytest.raises(ValueError):
             ParallelRunner(jobs=1, timeout=0.0)
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1, heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1, stale_after=0.0)
+
+
+class TestBackoff:
+    """Retries wait under the RetryPolicy, and the waits leave evidence
+    on the ``parallel.retry_wait_seconds`` timer."""
+
+    def test_serial_retry_records_backoff_wait(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "s27:1")
+        engine = Engine()
+        policy = RetryPolicy(max_retries=1, base_delay=0.01, jitter=0.0)
+        runner = ParallelRunner(jobs=1, engine=engine, retry_policy=policy)
+        results = runner.run(_values_jobs(("s27",)))
+        assert results[0].basic is not None
+        assert engine.stats.counter("parallel.retries") == 1
+        assert engine.stats.timers["parallel.retry_wait_seconds"] == (
+            pytest.approx(0.01)
+        )
+        [record] = engine.job_records
+        assert record["retries"] == 1  # the journal sees the retry
+
+    def test_pool_retry_records_backoff_wait(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INJECT_FAIL", "s27:1")
+        engine = Engine()
+        policy = RetryPolicy(max_retries=1, base_delay=0.01, jitter=0.0)
+        runner = ParallelRunner(jobs=2, engine=engine, retry_policy=policy)
+        results = runner.run(_values_jobs())
+        assert [r.circuit for r in results] == list(CIRCUITS)
+        assert engine.stats.counter("parallel.retries") == 1
+        assert engine.stats.timers["parallel.retry_wait_seconds"] >= 0.01
+
+    def test_retry_policy_takes_precedence_over_max_retries(self):
+        runner = ParallelRunner(
+            jobs=1, max_retries=5, retry_policy=RetryPolicy(max_retries=2)
+        )
+        assert runner.max_retries == 2
+
+
+class TestHardCrashRecovery:
+    """SIGKILL a pool worker mid-job: the hardest crash.  The run must
+    still finish with canonical output identical to a serial run, and
+    the journal must record that the killed job was retried."""
+
+    def test_sigkill_recovered_and_output_identical(
+        self, monkeypatch, tmp_path, serial_results
+    ):
+        monkeypatch.setenv("REPRO_INJECT_EXIT_SIGKILL", "s27:1")
+        engine = Engine()
+        results = run_all(
+            TINY,
+            circuits=CIRCUITS,
+            table6_circuits=CIRCUITS,
+            jobs=4,
+            engine=engine,
+            heartbeat_dir=str(tmp_path / "hb"),
+        )
+        assert results.canonical_json() == serial_results.canonical_json()
+        assert engine.stats.counter("parallel.pool_broken") >= 1
+        assert engine.stats.counter("parallel.retries") >= 1
+        records = {r["key"]: r for r in engine.job_records}
+        assert records["s27"].get("retries", 0) >= 1
+
+    def test_sigkill_without_heartbeats_still_recovers(self, monkeypatch):
+        # Pre-supervision behaviour: the crash is survived via the
+        # in-process fallback, just without retry attribution.
+        monkeypatch.setenv("REPRO_INJECT_EXIT_SIGKILL", "s27:1")
+        engine = Engine()
+        runner = ParallelRunner(jobs=2, engine=engine)
+        results = runner.run(_values_jobs())
+        assert [r.circuit for r in results] == list(CIRCUITS)
+        assert all(r.basic is not None for r in results)
+        assert engine.stats.counter("parallel.pool_broken") >= 1
+
+
+class TestWatchdogPath:
+    """A worker that starts beating and then goes silent is *stuck*:
+    killed, charged an attempt, and distinguishable (phase="stuck")
+    from the completion-free hard timeout.
+
+    The sleeper chaos job beats synchronously once on entry; with a
+    60s beat interval the beat then goes silent, which is exactly the
+    stuck signature (a frozen process stops beating too)."""
+
+    def test_stuck_worker_flagged_and_neighbour_salvaged(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_INJECT_SLEEP", "c17:600")
+        engine = Engine()
+        runner = ParallelRunner(
+            jobs=2,
+            engine=engine,
+            max_retries=0,
+            heartbeat_dir=tmp_path,
+            heartbeat_interval=60.0,
+            stale_after=1.0,
+        )
+        jobs = [CircuitJob("s27", TINY), CircuitJob("c17", TINY)]
+        with pytest.raises(ParallelRunError) as excinfo:
+            runner.run(jobs)
+        [failure] = excinfo.value.failures
+        assert failure.circuit == "c17"
+        assert failure.phase == "stuck"
+        assert "no heartbeat" in failure.message
+        assert engine.stats.counter("parallel.stuck") == 1
+        assert engine.stats.counter("parallel.timeouts") == 0
+        assert [r.circuit for r in excinfo.value.results] == ["s27"]
+
+    def test_stuck_job_consumes_attempt_and_is_retried(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_INJECT_SLEEP", "c17:600")
+        engine = Engine()
+        policy = RetryPolicy(max_retries=1, base_delay=0.05, jitter=0.0)
+        runner = ParallelRunner(
+            jobs=2,
+            engine=engine,
+            retry_policy=policy,
+            heartbeat_dir=tmp_path,
+            heartbeat_interval=60.0,
+            stale_after=1.0,
+        )
+        jobs = [CircuitJob("s27", TINY), CircuitJob("c17", TINY)]
+        with pytest.raises(ParallelRunError) as excinfo:
+            runner.run(jobs)
+        [failure] = excinfo.value.failures
+        assert failure.phase == "stuck"
+        assert failure.attempt == 1  # second attempt also went silent
+        assert engine.stats.counter("parallel.stuck") == 2
+        assert engine.stats.counter("parallel.retries") == 1
+        # the retry was paced, not hot-looped
+        assert engine.stats.timers["parallel.retry_wait_seconds"] == (
+            pytest.approx(0.05)
+        )
 
 
 def _fake_result(circuit="s27"):

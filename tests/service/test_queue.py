@@ -1,0 +1,205 @@
+"""Durable file-based job queue: state = directory, transition = rename."""
+
+import json
+
+import pytest
+
+from repro.service import JOB_STATES, JobQueue, JobSpec, new_job_id
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    queue = JobQueue(tmp_path / "queue")
+    queue.ensure_layout()
+    return queue
+
+
+class TestJobIds:
+    def test_ids_are_unique_and_sorted_by_submission(self):
+        ids = [new_job_id() for _ in range(50)]
+        assert len(set(ids)) == 50
+        assert ids == sorted(ids)
+
+    def test_spec_payload_round_trips(self):
+        job = JobSpec(
+            id="job-1", params={"jobs": 2}, submitted="now", attempts=3
+        )
+        assert JobSpec.from_payload(job.to_payload()) == job
+
+    def test_result_only_serialized_when_present(self):
+        assert "result" not in JobSpec(id="job-1").to_payload()
+        assert JobSpec(id="job-1", result={"out": "x"}).to_payload()[
+            "result"
+        ] == {"out": "x"}
+
+
+class TestLayout:
+    def test_ensure_layout_creates_all_state_dirs(self, queue):
+        for state in JOB_STATES:
+            assert queue.state_dir(state).is_dir()
+        assert (queue.root / "work").is_dir()
+        assert (queue.root / "out").is_dir()
+        assert (queue.root / "logs").is_dir()
+
+    def test_unknown_state_rejected(self, queue):
+        with pytest.raises(ValueError):
+            queue.state_dir("limbo")
+
+    def test_paths_live_under_the_root(self, queue):
+        assert queue.wal_path.parent == queue.root
+        assert queue.journal_path.parent == queue.root
+        assert queue.work_dir("job-1") == queue.root / "work" / "job-1"
+        assert queue.log_path("job-1").name == "job-1.log"
+
+
+class TestSubmitLease:
+    def test_submit_lands_in_pending(self, queue):
+        job = queue.submit({"jobs": 2})
+        path = queue.job_path("pending", job.id)
+        assert path.exists()
+        stored = json.loads(path.read_text())
+        assert stored["status"] == "queued"
+        assert stored["params"] == {"jobs": 2}
+        assert stored["submitted"]
+
+    def test_lease_claims_oldest_first(self, queue):
+        first = queue.submit()
+        second = queue.submit()
+        leased = queue.lease()
+        assert leased.id == first.id
+        assert leased.status == "leased"
+        assert queue.job_path("leased", first.id).exists()
+        assert not queue.job_path("pending", first.id).exists()
+        assert queue.job_path("pending", second.id).exists()
+
+    def test_lease_specific_job(self, queue):
+        queue.submit()
+        wanted = queue.submit()
+        assert queue.lease(wanted.id).id == wanted.id
+
+    def test_lease_empty_queue_is_none(self, queue):
+        assert queue.lease() is None
+
+    def test_lost_race_moves_to_next_candidate(self, queue):
+        """A file that vanishes between listing and claiming (another
+        daemon won the rename) must not abort the lease scan."""
+        ghost = queue.submit()
+        real = queue.submit()
+        queue.job_path("pending", ghost.id).unlink()
+        assert queue.lease().id == real.id
+
+    def test_unreadable_spec_parked_as_failed(self, queue):
+        job = queue.submit()
+        queue.job_path("pending", job.id).write_text("{not json")
+        assert queue.lease() is None
+        assert queue.job_path("failed", f"{job.id}").exists()
+
+
+class TestReleaseAdopt:
+    def test_release_returns_job_to_pending_with_attempts(self, queue):
+        queue.submit()
+        job = queue.lease()
+        job.attempts = 2
+        queue.release(job)
+        assert not queue.job_path("leased", job.id).exists()
+        again = queue.lease()
+        assert again.id == job.id
+        assert again.attempts == 2  # retry budget survives the round-trip
+
+    def test_adopt_orphans_recovers_leased_jobs(self, queue):
+        first = queue.submit()
+        second = queue.submit()
+        queue.lease()
+        adopted = queue.adopt_orphans()
+        assert [j.id for j in adopted] == [first.id]
+        assert queue.job_path("pending", first.id).exists()
+        assert queue.job_path("pending", second.id).exists()
+        assert queue._jobs_in("leased") == []
+
+    def test_adopt_orphans_parks_unreadable_lease(self, queue):
+        job = queue.submit()
+        queue.lease()
+        queue.job_path("leased", job.id).write_text("")
+        assert queue.adopt_orphans() == []
+        assert queue.job_path("failed", job.id).exists()
+
+
+class TestFinishCancel:
+    @pytest.mark.parametrize(
+        "status,directory",
+        [("done", "done"), ("degraded", "done"), ("failed", "failed")],
+    )
+    def test_terminal_states_land_in_their_directory(
+        self, queue, status, directory
+    ):
+        queue.submit()
+        job = queue.lease()
+        queue.finish(job, status, result={"out": "somewhere"})
+        path = queue.job_path(directory, job.id)
+        assert path.exists()
+        assert not queue.job_path("leased", job.id).exists()
+        stored = json.loads(path.read_text())
+        assert stored["status"] == status
+        assert stored["result"] == {"out": "somewhere"}
+
+    def test_finish_rejects_non_terminal_status(self, queue):
+        queue.submit()
+        job = queue.lease()
+        with pytest.raises(ValueError):
+            queue.finish(job, "running")
+
+    def test_cancel_pending_job(self, queue):
+        job = queue.submit()
+        canceled = queue.cancel(job.id)
+        assert canceled.status == "canceled"
+        assert queue.job_path("canceled", job.id).exists()
+        assert queue.lease() is None
+
+    def test_cancel_leased_job_refused(self, queue):
+        job = queue.submit()
+        queue.lease()
+        assert queue.cancel(job.id) is None
+        assert queue.job_path("leased", job.id).exists()
+
+    def test_cancel_unknown_job_is_none(self, queue):
+        assert queue.cancel("job-nope") is None
+
+
+class TestInspection:
+    def test_find_locates_any_state(self, queue):
+        done = queue.submit()
+        queue.finish(queue.lease(), "done")
+        pending = queue.submit()
+        assert queue.find(done.id).status == "done"
+        assert queue.find(pending.id).status == "queued"
+        assert queue.find("job-nope") is None
+
+    def test_jobs_lists_all_states_oldest_first(self, queue):
+        first = queue.submit()
+        second = queue.submit()
+        queue.finish(queue.lease(), "done")
+        listing = queue.jobs()
+        assert [j.id for j in listing] == [first.id, second.id]
+        assert listing[0].status == "done"
+        assert listing[1].status == "queued"
+
+
+class TestAtomicity:
+    def test_writes_leave_no_temp_files(self, queue):
+        job = queue.submit()
+        queue.lease()
+        queue.finish(queue.find(job.id), "done")
+        stray = [
+            p
+            for p in queue.root.rglob("*")
+            if p.is_file() and p.suffix == ".tmp"
+        ]
+        assert stray == []
+
+    def test_job_file_is_valid_json_at_every_state(self, queue):
+        job = queue.submit()
+        json.loads(queue.job_path("pending", job.id).read_text())
+        queue.lease()
+        json.loads(queue.job_path("leased", job.id).read_text())
+        queue.finish(queue.find(job.id), "done")
+        json.loads(queue.job_path("done", job.id).read_text())

@@ -1,0 +1,73 @@
+"""Write-ahead state file: crash detection via pid liveness."""
+
+import json
+import os
+
+from repro.service import ServiceWAL, pid_alive
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_unused_pid_is_dead(self):
+        # Fork a child and reap it: its pid is guaranteed recycled-free
+        # for the duration of the test and definitely not running.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert not pid_alive(pid)
+
+    def test_nonpositive_pids_are_not_alive(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+class TestServiceWAL:
+    def test_write_then_load_round_trips(self, tmp_path):
+        wal = ServiceWAL(tmp_path / "wal.json")
+        wal.write("running", job="job-1")
+        state = wal.load()
+        assert state["phase"] == "running"
+        assert state["job"] == "job-1"
+        assert state["pid"] == os.getpid()
+        assert state["updated"]
+
+    def test_write_is_atomic_no_temp_left(self, tmp_path):
+        wal = ServiceWAL(tmp_path / "wal.json")
+        wal.write("idle")
+        assert [p.name for p in tmp_path.iterdir()] == ["wal.json"]
+        json.loads((tmp_path / "wal.json").read_text())
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert ServiceWAL(tmp_path / "wal.json").load() is None
+
+    def test_corrupt_file_loads_none(self, tmp_path):
+        path = tmp_path / "wal.json"
+        path.write_text('{"pid": 12')
+        assert ServiceWAL(path).load() is None
+
+    def test_owner_is_live_writer(self, tmp_path):
+        wal = ServiceWAL(tmp_path / "wal.json")
+        wal.write("running", job="job-1")
+        assert wal.owner() == os.getpid()
+
+    def test_stopped_phase_has_no_owner(self, tmp_path):
+        # A cleanly-stopped daemon's pid may still be alive (it is: ours)
+        # but it no longer owns the queue.
+        wal = ServiceWAL(tmp_path / "wal.json")
+        wal.write("stopped")
+        assert wal.owner() is None
+
+    def test_dead_pid_has_no_owner(self, tmp_path):
+        wal = ServiceWAL(tmp_path / "wal.json")
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        wal.write("running", job="job-1", pid=pid)
+        assert wal.owner() is None  # the crash signature
+
+    def test_missing_wal_has_no_owner(self, tmp_path):
+        assert ServiceWAL(tmp_path / "wal.json").owner() is None

@@ -403,6 +403,25 @@ class TestCacheCommands:
         assert f"corrupt: {victim.name}" in out
         assert "1 intact, 1 corrupt" in out
 
+    def test_verify_repair_heals_the_store(self, tmp_path, capsys):
+        cache, _ = self.seed(tmp_path, capsys)
+        victim = sorted(cache.glob("*.npz"))[0]
+        victim.write_bytes(b"garbage")
+        code = main(
+            ["cache", "verify", "--repair", "--artifact-cache", str(cache)]
+        )
+        assert code == 0  # repair mode reports, it does not fail the build
+        out = capsys.readouterr().out
+        assert "1 intact, 1 corrupt" in out
+        assert "repair: quarantined 1 entry" in out
+        assert not victim.exists()
+        assert not (cache / "quarantine").is_dir() or not list(
+            (cache / "quarantine").iterdir()
+        )
+        # A second verify scan is clean.
+        assert main(["cache", "verify", "--artifact-cache", str(cache)]) == 0
+        assert "1 intact, 0 corrupt" in capsys.readouterr().out
+
     def test_gc_evicts_to_budget(self, tmp_path, capsys):
         cache, _ = self.seed(tmp_path, capsys)
         code = main(
@@ -497,3 +516,134 @@ class TestJournalCommands:
             ["journal", "gate", "--journal", str(journal), "--tolerance", "0.5"]
         )
         assert code == 0
+
+
+class TestServiceCommands:
+    """The serve/submit/status/cancel/logs verbs over a queue directory."""
+
+    @staticmethod
+    def submit(tmp_path, capsys, *extra):
+        queue = tmp_path / "queue"
+        code = main(
+            [
+                "submit",
+                "--queue",
+                str(queue),
+                "--scale",
+                "smoke",
+                "--quick",
+                "--max-faults",
+                "60",
+                "--p0-min-faults",
+                "15",
+                "--jobs",
+                "1",
+                *extra,
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        job_id = captured.out.strip().splitlines()[0]
+        assert job_id.startswith("job-")
+        return queue, job_id
+
+    def test_submit_requires_queue(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit"])
+        assert excinfo.value.code == 2
+
+    def test_submit_enqueues_and_prints_job_id(self, tmp_path, capsys):
+        queue, job_id = self.submit(tmp_path, capsys)
+        assert (queue / "pending" / f"{job_id}.json").exists()
+        stored = json.loads(
+            (queue / "pending" / f"{job_id}.json").read_text()
+        )
+        assert stored["params"]["scale"] == "smoke"
+        assert stored["params"]["quick"] is True
+        assert stored["params"]["max_faults"] == 60
+        assert stored["params"]["jobs"] == 1
+
+    def test_submit_journals_queued_event(self, tmp_path, capsys):
+        from repro.journal import read_journal
+
+        queue, job_id = self.submit(tmp_path, capsys)
+        read = read_journal(queue / "journal.jsonl")
+        assert read.problems == []
+        assert [(e["event"], e["job"]) for e in read.entries] == [
+            ("queued", job_id)
+        ]
+
+    def test_submit_retry_flag_becomes_policy_spec(self, tmp_path, capsys):
+        queue, job_id = self.submit(tmp_path, capsys, "--max-retries", "2")
+        stored = json.loads(
+            (queue / "pending" / f"{job_id}.json").read_text()
+        )
+        assert stored["params"]["retry"]["max_retries"] == 2
+
+    def test_status_lists_daemon_and_jobs(self, tmp_path, capsys):
+        queue, job_id = self.submit(tmp_path, capsys)
+        assert main(["status", "--queue", str(queue)]) == 0
+        out = capsys.readouterr().out
+        assert "daemon: not running" in out
+        assert f"{job_id}  queued" in out
+
+    def test_status_single_job_and_unknown(self, tmp_path, capsys):
+        queue, job_id = self.submit(tmp_path, capsys)
+        assert main(["status", "--queue", str(queue), job_id]) == 0
+        assert "queued" in capsys.readouterr().out
+        assert main(["status", "--queue", str(queue), "job-nope"]) == 1
+        assert "unknown job" in capsys.readouterr().err
+
+    def test_cancel_pending_then_refuses_terminal(self, tmp_path, capsys):
+        queue, job_id = self.submit(tmp_path, capsys)
+        assert main(["cancel", "--queue", str(queue), job_id]) == 0
+        assert "canceled" in capsys.readouterr().out
+        # Now in canceled/: a second cancel reports the state, exit 1.
+        assert main(["cancel", "--queue", str(queue), job_id]) == 1
+        assert "is canceled" in capsys.readouterr().err
+
+    def test_cancel_unknown_job(self, tmp_path, capsys):
+        queue, _ = self.submit(tmp_path, capsys)
+        assert main(["cancel", "--queue", str(queue), "job-nope"]) == 1
+        assert "unknown job" in capsys.readouterr().err
+
+    def test_logs_missing_then_present(self, tmp_path, capsys):
+        queue, job_id = self.submit(tmp_path, capsys)
+        assert main(["logs", "--queue", str(queue), job_id]) == 1
+        assert "no log" in capsys.readouterr().err
+        log = queue / "logs" / f"{job_id}.log"
+        log.parent.mkdir(parents=True, exist_ok=True)
+        log.write_text("hello from the daemon\n")
+        assert main(["logs", "--queue", str(queue), job_id]) == 0
+        assert "hello from the daemon" in capsys.readouterr().out
+
+    def test_serve_drain_runs_submitted_job_to_done(self, tmp_path, capsys):
+        """The whole loop through the CLI: submit -> serve --drain ->
+        status shows done and the outputs exist."""
+        queue, job_id = self.submit(tmp_path, capsys)
+        assert main(["serve", "--queue", str(queue), "--drain"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--queue", str(queue), job_id]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert (queue / "out" / job_id / "results.json").exists()
+        assert (queue / "out" / job_id / "tables.txt").exists()
+        # The per-job log is now served by `repro logs`.
+        assert main(["logs", "--queue", str(queue), job_id]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_serve_refuses_busy_queue(self, tmp_path, capsys):
+        from repro.service import JobQueue, ServiceWAL
+
+        queue = JobQueue(tmp_path / "queue")
+        queue.ensure_layout()
+        ServiceWAL(queue.wal_path).write("running", pid=1)
+        code = main(["serve", "--queue", str(queue.root), "--drain"])
+        assert code == 2
+        assert "owned by live daemon" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_thresholds(self):
+        for flag in ("--heartbeat-interval", "--stale-after", "--poll-interval"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["serve", "--queue", "q", flag, "0"])
+            assert excinfo.value.code == 2
